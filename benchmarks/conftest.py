@@ -1,0 +1,44 @@
+"""Shared fixtures for the evaluation benchmarks.
+
+Rows produced by the Table 1 / Table 2 benchmarks are collected in
+session-scoped accumulators and rendered into ``benchmarks/out/*.txt`` at
+the end of the session, so a single ``pytest benchmarks/ --benchmark-only``
+run regenerates every table of the paper.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+class TableCollector:
+    def __init__(self) -> None:
+        self.table1_rows = []
+        self.table2_rows = []
+        self.extra_sections: list[tuple[str, str]] = []
+
+    def emit(self) -> None:
+        from repro.reporting import render_table1, render_table2
+
+        os.makedirs(OUT_DIR, exist_ok=True)
+        if self.table1_rows:
+            rows = sorted(self.table1_rows, key=lambda r: (r.app, r.annotated))
+            with open(os.path.join(OUT_DIR, "table1.txt"), "w") as fh:
+                fh.write(render_table1(rows) + "\n")
+        if self.table2_rows:
+            with open(os.path.join(OUT_DIR, "table2.txt"), "w") as fh:
+                fh.write(render_table2(self.table2_rows) + "\n")
+        for name, text in self.extra_sections:
+            with open(os.path.join(OUT_DIR, f"{name}.txt"), "w") as fh:
+                fh.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def tables():
+    collector = TableCollector()
+    yield collector
+    collector.emit()

@@ -1,0 +1,48 @@
+"""Table 2: the mixed symbolic-explicit representation vs fully symbolic.
+
+For each app the witness-refutation search runs twice, with the paper's
+mixed representation and with the PSE-style fully-symbolic one (points-to
+facts only for alias/allocation checks). The paper's findings to
+reproduce: the fully-symbolic run is slower and/or times out more, and
+never refutes more alarms. A reduced path budget keeps the (deliberately
+slow) symbolic runs CI-sized; ``benchmarks/out/table2.txt`` has the table.
+"""
+
+import pytest
+
+from repro.bench import APPS
+from repro.reporting import table2_row
+from repro.symbolic import SearchConfig
+
+BUDGET = SearchConfig(path_budget=1_000)
+
+_ROWS = {}
+
+
+def _run(app):
+    row = table2_row(app, annotated=False, config=BUDGET)
+    _ROWS[app.name] = row
+    return row
+
+
+@pytest.mark.parametrize("app", APPS, ids=[a.name for a in APPS])
+def test_table2_cell(benchmark, tables, app):
+    row = benchmark.pedantic(_run, args=(app,), rounds=1, iterations=1)
+    tables.table2_rows.append(row)
+    # Dropping the `from` constraints never *gains* precision.
+    assert row.symbolic_refuted_alarms <= row.mixed_refuted_alarms
+    # ... and never removes timeouts.
+    assert row.symbolic_timeouts >= row.mixed_timeouts
+
+
+def test_table2_aggregate_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = list(_ROWS.values())
+    assert len(rows) == len(APPS), "run the per-app benchmarks first"
+    total_mixed = sum(r.mixed_seconds for r in rows)
+    total_symbolic = sum(r.symbolic_seconds for r in rows)
+    # The headline of Table 2: the fully-symbolic representation is
+    # substantially slower overall (>= 1.6X on most apps in the paper).
+    assert total_symbolic > total_mixed
+    slowdowns = [r.slowdown for r in rows if r.mixed_seconds > 0.05]
+    assert slowdowns and max(slowdowns) >= 1.6

@@ -1,0 +1,75 @@
+"""Figure 3 of the paper: `from` instance constraints tame aliasing.
+
+Backwards across `z = y.f`, the instance bound to z is narrowed to
+`pt(y.f) ∩ r̂`; across the write `x.f = p`, the produced case narrows it
+further by `pt(p)`. A fully symbolic analysis would instead fork an
+aliased/not-aliased case at every write and only discover contradictions
+at allocation sites.
+
+This example drives the backwards transfer functions directly and prints
+the evolving mixed symbolic-explicit query, mirroring the figure.
+
+Run:  python examples/from_constraints.py
+"""
+
+from repro.ir import compile_program
+from repro.ir import instructions as ins
+from repro.ir.stmts import walk_commands
+from repro.pointsto import analyze
+from repro.symbolic import Query, SearchConfig, TransferContext
+from repro.symbolic.transfer import transfer_command
+
+SOURCE = """
+class Node { Object f; }
+class Main {
+    static void main() {
+        Object a1 = new Object();
+        Object a2 = new String();
+        Node x = new Node();
+        Node y = new Node();
+        if (nondet()) { y = x; }
+        Object p = a1;
+        x.f = p;          // program point 1
+        Object z = y.f;   // program point 2
+    }
+}
+"""
+
+
+def main() -> None:
+    program = compile_program(SOURCE)
+    pta = analyze(program)
+    ctx = TransferContext(pta, SearchConfig())
+
+    cmds = list(walk_commands(program.methods["Main.main"].body))
+    field_write = next(c for c in cmds if isinstance(c, ins.FieldWrite))
+    field_read = next(c for c in cmds if isinstance(c, ins.FieldRead))
+
+    # Initial query at point 3: z ↦ ẑ with ẑ from r̂ = pt(z).
+    q = Query("Main.main")
+    region = pta.pt_local("Main.main", "z")
+    z_hat = q.new_ref(region, hint="z")
+    q.set_local("z", z_hat)
+    print(f"query at point 3:\n    {q}\n")
+
+    # Backwards across z = y.f (WIT-READ): ẑ narrowed by pt(y.f), and a
+    # fresh ŷ materialized with pt(y).
+    (q2,) = transfer_command(field_read, q.copy(), ctx)
+    print(f"pre-query at point 2 (after WIT-READ):\n    {q2}\n")
+
+    # Backwards across x.f = p (WIT-WRITE): the produced case narrows ẑ by
+    # pt(p) and unifies ŷ with x̂; the not-produced case keeps the cell.
+    disjuncts = transfer_command(field_write, q2, ctx)
+    print(f"pre-queries at point 1 (after WIT-WRITE, {len(disjuncts)} disjuncts):")
+    for i, disjunct in enumerate(disjuncts):
+        print(f"  [{i}] {disjunct}")
+
+    print(
+        "\nNote how each flow through a variable or field intersects the"
+        "\ninstance's points-to region — the contradictions of Figure 3"
+        "\n(r̂ ∩ pt(y.f) = ∅) are found long before any allocation site."
+    )
+
+
+if __name__ == "__main__":
+    main()

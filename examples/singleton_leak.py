@@ -1,0 +1,65 @@
+"""Figure 5 of the paper: the confirmed K9Mail singleton leak.
+
+`EmailAddressAdapter.getInstance(activity)` stores the Activity through
+two super-constructors into `CursorAdapter.mContext`; the static
+`sInstance` keeps the whole chain alive forever. Thresher confirms this
+alarm and produces a path program witness for triage.
+
+Run:  python examples/singleton_leak.py
+"""
+
+from repro.android.leaks import LeakChecker
+from repro.symbolic.replay import replay_witness
+from repro.symbolic.witness import render_witness
+
+APP = """
+class MessageListActivity extends Activity {
+    void onCreate() {
+        EmailAddressAdapter a = EmailAddressAdapter.getInstance(this);
+    }
+}
+class ComposeActivity extends Activity {
+    void onCreate() {
+        EmailAddressAdapter a = EmailAddressAdapter.getInstance(this);
+    }
+}
+class EmailAddressAdapter extends ResourceCursorAdapter {
+    private static EmailAddressAdapter sInstance;
+    static EmailAddressAdapter getInstance(Context context) {
+        if (EmailAddressAdapter.sInstance == null) {
+            EmailAddressAdapter.sInstance = new EmailAddressAdapter(context);
+        }
+        return EmailAddressAdapter.sInstance;
+    }
+    EmailAddressAdapter(Context context) { super(context); }
+}
+"""
+
+
+def main() -> None:
+    checker = LeakChecker(APP, "k9mail")
+    report = checker.run()
+
+    print(f"alarms reported by the flow-insensitive analysis: {report.num_alarms}")
+    for alarm in report.alarms:
+        print(f"\n  {alarm.root} ↪ {alarm.target}: {alarm.status.upper()}")
+        if alarm.witnessed_path:
+            print("  heap path:")
+            for edge in alarm.witnessed_path:
+                print(f"      {edge}")
+            # Render the path program witness for the last edge — the
+            # store of the Activity into mContext.
+            result = checker.engine.refute_edge(alarm.witnessed_path[-1])
+            print("\n" + render_witness(checker.program, result))
+            replay = replay_witness(checker.program, result.witness_trace)
+            print(f"\n  concrete replay: {'VALIDATED' if replay.validated else replay.reason}")
+
+    print(
+        "\nThe fix the K9Mail developers later shipped — removing the"
+        "\nsingleton — makes the alarm disappear (see"
+        " tests/integration/test_figure5.py)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""Activity lifecycle modelling: event-handler discovery.
+
+Android invokes lifecycle callbacks (``onCreate``, ``onDestroy``, ...) and
+UI event handlers (``onClick``, ...) on application classes; the paper's
+harness "invokes every event handler defined for an application ... in any
+order, but insists that each handler is called only once". This module
+discovers the handlers; :mod:`repro.android.harness` builds the harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang import ast
+from ..lang.types import ClassTable, MethodInfo
+
+#: Well-known lifecycle callback names, in canonical lifecycle order.
+LIFECYCLE_ORDER = [
+    "onCreate",
+    "onAttach",
+    "onStart",
+    "onStartCommand",
+    "onResume",
+    "onReceive",
+    "onClick",
+    "onItemSelected",
+    "onPause",
+    "onStop",
+    "onConfigurationChanged",
+    "onDestroy",
+]
+
+
+@dataclass
+class Handler:
+    class_name: str
+    method: MethodInfo
+
+    @property
+    def name(self) -> str:
+        return self.method.name
+
+
+def is_event_handler(method: MethodInfo) -> bool:
+    """Event handlers: instance methods named ``on*`` (Android convention)."""
+    return (
+        not method.is_static
+        and not method.is_constructor
+        and method.name.startswith("on")
+        and len(method.name) > 2
+        and method.name[2].isupper()
+    )
+
+
+def activity_classes(table: ClassTable, app_classes: set[str]) -> list[str]:
+    """Application classes that are (subclasses of) Activity."""
+    out = []
+    for name in sorted(app_classes):
+        if name in table and table.is_subclass(name, "Activity"):
+            out.append(name)
+    return out
+
+
+def component_classes(table: ClassTable, app_classes: set[str]) -> list[str]:
+    """Application classes that are Android components (Activity, Service,
+    BroadcastReceiver, Fragment) — everything the framework drives, hence
+    everything the harness must drive."""
+    from .library import COMPONENT_CLASSES
+
+    out = []
+    for name in sorted(app_classes):
+        if name not in table:
+            continue
+        if any(
+            base in table.classes and table.is_subclass(name, base)
+            for base in COMPONENT_CLASSES
+        ):
+            out.append(name)
+    return out
+
+
+def handlers_of(table: ClassTable, class_name: str) -> list[Handler]:
+    """All event handlers callable on ``class_name``, lifecycle-ordered."""
+    found: dict[str, Handler] = {}
+    for info in table.ancestors(class_name):
+        for method in info.methods.values():
+            if is_event_handler(method) and method.name not in found:
+                found[method.name] = Handler(class_name, method)
+
+    def order(handler: Handler) -> tuple[int, str]:
+        try:
+            return (LIFECYCLE_ORDER.index(handler.name), handler.name)
+        except ValueError:
+            return (len(LIFECYCLE_ORDER), handler.name)
+
+    return sorted(found.values(), key=order)
+
+
+def default_argument(table: ClassTable, typ: ast.Type) -> str:
+    """Mini-Java source text for a synthesized handler argument."""
+    if typ == ast.INT:
+        return "0"
+    if typ == ast.BOOLEAN:
+        return "false"
+    if isinstance(typ, ast.ArrayType):
+        return f"new {typ.elem}[1]"
+    if isinstance(typ, ast.ClassType):
+        info = table.classes.get(typ.name)
+        if info is None:
+            return "null"
+        ctor = table.lookup_method(typ.name, "<init>")
+        if ctor is None or not ctor.params:
+            return f"new {typ.name}()"
+        return "null"
+    return "null"

@@ -1,0 +1,21 @@
+"""Synthetic benchmark applications and workload generators."""
+
+from .apps import AMETRO, APPS, DROIDLIFE, K9MAIL, OPENSUDOKU, PULSEPOINT, SMSPOPUP, STANDUPTIMER, BenchApp, app_by_name
+from .workloads import branchy_app, chain_app, concrete_leaks, container_app
+
+__all__ = [
+    "APPS",
+    "BenchApp",
+    "app_by_name",
+    "PULSEPOINT",
+    "STANDUPTIMER",
+    "DROIDLIFE",
+    "OPENSUDOKU",
+    "SMSPOPUP",
+    "AMETRO",
+    "K9MAIL",
+    "branchy_app",
+    "chain_app",
+    "concrete_leaks",
+    "container_app",
+]

@@ -1,0 +1,432 @@
+"""Synthetic benchmark applications for the Table 1 / Table 2 experiments.
+
+The paper evaluates on seven real Android apps (PulsePoint, StandupTimer,
+DroidLife, OpenSudoku, SMSPopUp, aMetro, K9Mail). We cannot ship those, so
+each synthetic app here reproduces the *alarm-generating patterns* the
+paper describes for its namesake:
+
+* true leaks through the singleton pattern (K9Mail's
+  ``EmailAddressAdapter``, Figure 5) and through static caches;
+* false alarms caused solely by the null-object pattern in ``Vec`` /
+  ``HashMap`` (Figure 1) — these vanish under ``Ann?=Y``;
+* the StandupTimer *latent leak*: a store guarded by a flag that is never
+  enabled (refutable, but one bit away from a real leak);
+* false alarms from constant-guarded stores and receiver/value
+  correlations that only path-sensitive reasoning can refute.
+
+Each app declares its ground-truth leaky fields; the bench harness
+cross-checks them against the bounded concrete interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BenchApp:
+    name: str
+    source: str
+    description: str
+    #: Static fields from which an Activity is *genuinely* reachable.
+    true_leak_fields: frozenset
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# ---------------------------------------------------------------------------
+# PulsePoint: two real singleton leaks plus Vec-pollution false alarms.
+# ---------------------------------------------------------------------------
+
+PULSEPOINT = BenchApp(
+    name="PulsePoint",
+    description="singleton-pattern leaks + Vec null-object false alarms",
+    true_leak_fields=frozenset(
+        {("FeedManager", "sInstance"), ("AlertCache", "alerts")}
+    ),
+    source="""
+class FeedActivity extends Activity {
+    void onCreate() {
+        FeedManager m = FeedManager.getInstance(this);
+        Vec local = new Vec();
+        local.push(this);
+        local.push("feed");
+    }
+    void onResume() {
+        AlertCache.record(this);
+    }
+}
+class MapActivity extends Activity {
+    void onCreate() {
+        Vec pins = new Vec();
+        pins.push(this);
+        Vec labels = new Vec();
+        labels.push("pin");
+    }
+}
+class FeedManager extends ResourceCursorAdapter {
+    static FeedManager sInstance;
+    static FeedManager getInstance(Context context) {
+        if (FeedManager.sInstance == null) {
+            FeedManager.sInstance = new FeedManager(context);
+        }
+        return FeedManager.sInstance;
+    }
+    FeedManager(Context context) { super(context); }
+}
+class AlertCache {
+    static Vec alerts = new Vec();
+    static void record(Activity a) {
+        AlertCache.alerts.push(a);
+    }
+}
+""",
+)
+
+
+# ---------------------------------------------------------------------------
+# StandupTimer: no real leaks; the latent cacheDAOInstances flag leak.
+# ---------------------------------------------------------------------------
+
+STANDUPTIMER = BenchApp(
+    name="StandupTimer",
+    description="latent flag-guarded leak (never enabled) + container noise",
+    true_leak_fields=frozenset(),
+    source="""
+class TimerActivity extends Activity {
+    void onCreate() {
+        DAOFactory.getTeamDAO(this);
+        Vec laps = new Vec();
+        laps.push(this);
+        laps.push("lap");
+    }
+    void onPause() {
+        Prefs.save(this);
+    }
+}
+class ConfigActivity extends Activity {
+    void onCreate() {
+        Vec entries = new Vec();
+        entries.push(this);
+    }
+}
+class DAOFactory {
+    static boolean cacheDAOInstances = false;
+    static TeamDAO cachedTeamDAO;
+    static TeamDAO getTeamDAO(Context context) {
+        TeamDAO dao = new TeamDAO(context);
+        if (DAOFactory.cacheDAOInstances) {
+            DAOFactory.cachedTeamDAO = dao;
+        }
+        return dao;
+    }
+}
+class TeamDAO {
+    Context ctx;
+    TeamDAO(Context c) { this.ctx = c; }
+}
+class Prefs {
+    static int mode = 0;
+    static Vec saved = new Vec();
+    static void save(Activity a) {
+        if (Prefs.mode == 1) {
+            Prefs.saved.push(a);
+        }
+    }
+}
+""",
+)
+
+
+# ---------------------------------------------------------------------------
+# DroidLife: small, every alarm is a real leak.
+# ---------------------------------------------------------------------------
+
+DROIDLIFE = BenchApp(
+    name="DroidLife",
+    description="tiny app whose alarms are all true leaks",
+    true_leak_fields=frozenset(
+        {("LifeState", "board"), ("LifeState", "lastActivity")}
+    ),
+    source="""
+class LifeActivity extends Activity {
+    void onCreate() {
+        LifeState.lastActivity = this;
+        LifeState.board.push(this);
+    }
+}
+class LifeState {
+    static Activity lastActivity;
+    static Vec board = new Vec();
+}
+""",
+)
+
+
+# ---------------------------------------------------------------------------
+# OpenSudoku: all alarms are HashMap-pollution false positives.
+# ---------------------------------------------------------------------------
+
+OPENSUDOKU = BenchApp(
+    name="OpenSudoku",
+    description="false alarms purely from HashMap/Vec null-object pollution",
+    true_leak_fields=frozenset(),
+    source="""
+class SudokuActivity extends Activity {
+    void onCreate() {
+        HashMap cells = new HashMap();
+        cells.put("cell", this);
+        HashMap notes = new HashMap();
+        notes.put("note", "text");
+    }
+    void onClick() {
+        Vec moves = new Vec();
+        moves.push(this);
+    }
+}
+class PuzzleListActivity extends Activity {
+    void onCreate() {
+        HashMap index = new HashMap();
+        index.put("puzzle", this);
+    }
+}
+""",
+)
+
+
+# ---------------------------------------------------------------------------
+# SMSPopUp: mostly real leaks (static caches), one refutable alarm.
+# ---------------------------------------------------------------------------
+
+SMSPOPUP = BenchApp(
+    name="SMSPopUp",
+    description="static caches of the popup activity (true) + one guarded store",
+    true_leak_fields=frozenset(
+        {("SmsCache", "lastPopup"), ("SmsCache", "history"), ("WakeLocker", "holder")}
+    ),
+    source="""
+class PopupActivity extends Activity {
+    void onCreate() {
+        SmsCache.lastPopup = this;
+        SmsCache.history.push(this);
+        WakeLocker.acquire(this);
+    }
+    void onDestroy() {
+        SmsDebug.log(this);
+    }
+}
+class SmsCache {
+    static Activity lastPopup;
+    static Vec history = new Vec();
+}
+class WakeLocker {
+    static Holder holder;
+    static void acquire(Context c) {
+        Holder h = new Holder(c);
+        WakeLocker.holder = h;
+    }
+}
+class Holder {
+    Context ctx;
+    Holder(Context c) { this.ctx = c; }
+}
+class SmsDebug {
+    static boolean enabled = false;
+    static Vec trace = new Vec();
+    static void log(Activity a) {
+        if (SmsDebug.enabled) {
+            SmsDebug.trace.push(a);
+        }
+    }
+}
+""",
+)
+
+
+# ---------------------------------------------------------------------------
+# aMetro: larger mixture — receiver correlations, constant guards, real
+# leaks via a view cache holding parents.
+# ---------------------------------------------------------------------------
+
+AMETRO = BenchApp(
+    name="aMetro",
+    description="view-cache leak + correlation/constant-guard false alarms",
+    true_leak_fields=frozenset({("TileCache", "views"), ("RouteStore", "owner")}),
+    source="""
+class MapViewActivity extends Activity {
+    void onCreate() {
+        TextView title = new TextView(this);
+        TileCache.remember(title);
+        Vec tiles = new Vec();
+        tiles.push(this);
+        tiles.push("tile");
+    }
+    void onStop() {
+        RouteStore.setOwner(this, 1);
+    }
+}
+class CityListActivity extends Activity {
+    void onCreate() {
+        Vec cities = new Vec();
+        cities.push("city");
+        HashMap labels = new HashMap();
+        labels.put("label", this);
+    }
+    void onClick() {
+        RouteStore.setOwner(this, 0);
+    }
+}
+class StationActivity extends Activity {
+    void onCreate() {
+        int zoom = 0;
+        if (zoom == 3) {
+            RouteStore.pinned = this;
+        }
+    }
+}
+class CatalogService extends Service {
+    static Context importContext;
+    static boolean importing = false;
+    void onStartCommand() {
+        if (CatalogService.importing) {
+            CatalogService.importContext = this;
+        }
+    }
+}
+class TileCache {
+    static Vec views = new Vec();
+    static void remember(View v) {
+        TileCache.views.push(v);
+    }
+}
+class RouteStore {
+    static Activity owner;
+    static Activity pinned;
+    static void setOwner(Activity a, int keep) {
+        if (keep == 1) {
+            RouteStore.owner = a;
+        }
+    }
+}
+""",
+)
+
+
+# ---------------------------------------------------------------------------
+# K9Mail: the Figure 5 EmailAddressAdapter leak plus a large noise surface.
+# ---------------------------------------------------------------------------
+
+K9MAIL = BenchApp(
+    name="K9Mail",
+    description="the Figure 5 singleton leak + heavy container noise",
+    true_leak_fields=frozenset(
+        {
+            ("EmailAddressAdapter", "sInstance"),
+            ("MessageCache", "recent"),
+            ("MessageListFragment", "active"),
+        }
+    ),
+    source="""
+class MessageListActivity extends Activity {
+    void onCreate() {
+        EmailAddressAdapter a = EmailAddressAdapter.getInstance(this);
+        Vec rows = new Vec();
+        rows.push(this);
+        rows.push("row");
+    }
+    void onResume() {
+        MessageCache.touch(this);
+    }
+}
+class ComposeActivity extends Activity {
+    void onCreate() {
+        EmailAddressAdapter a = EmailAddressAdapter.getInstance(this);
+        HashMap drafts = new HashMap();
+        drafts.put("draft", this);
+    }
+    void onClick() {
+        Vec recipients = new Vec();
+        recipients.push("alice");
+        recipients.push(this);
+    }
+}
+class FolderListActivity extends Activity {
+    void onCreate() {
+        HashMap folders = new HashMap();
+        folders.put("inbox", "folder");
+        Vec selection = new Vec();
+        selection.push(this);
+    }
+    void onDestroy() {
+        Debug.dump(this);
+    }
+}
+class EmailAddressAdapter extends ResourceCursorAdapter {
+    static EmailAddressAdapter sInstance;
+    static EmailAddressAdapter getInstance(Context context) {
+        if (EmailAddressAdapter.sInstance == null) {
+            EmailAddressAdapter.sInstance = new EmailAddressAdapter(context);
+        }
+        return EmailAddressAdapter.sInstance;
+    }
+    EmailAddressAdapter(Context context) { super(context); }
+}
+class MessageListFragment extends Fragment {
+    static MessageListFragment active;
+    void onAttach(Activity a) {
+        this.attach(a);
+        MessageListFragment.active = this;
+    }
+}
+class PollTask extends AsyncTask {
+    static Object sticky;
+    static int keepResults = 0;
+    Object doInBackground(Object p) { return p; }
+    void onPostExecute(Object r) {
+        if (PollTask.keepResults == 1) {
+            PollTask.sticky = r;
+        }
+    }
+}
+class SyncService extends Service {
+    void onStartCommand() {
+        PollTask t = new PollTask();
+        t.execute(this);
+    }
+}
+class MessageCache {
+    static Vec recent = new Vec();
+    static void touch(Activity a) {
+        MessageCache.recent.push(a);
+    }
+}
+class Debug {
+    static int level = 0;
+    static Vec sink = new Vec();
+    static void dump(Activity a) {
+        if (Debug.level >= 2) {
+            Debug.sink.push(a);
+        }
+    }
+}
+""",
+)
+
+
+APPS: list[BenchApp] = [
+    PULSEPOINT,
+    STANDUPTIMER,
+    DROIDLIFE,
+    OPENSUDOKU,
+    SMSPOPUP,
+    AMETRO,
+    K9MAIL,
+]
+
+
+def app_by_name(name: str) -> BenchApp:
+    for app in APPS:
+        if app.name.lower() == name.lower():
+            return app
+    raise KeyError(name)

@@ -1,0 +1,116 @@
+"""Workload utilities: executable ground truth and scaling generators.
+
+``concrete_leaks`` runs the bounded concrete interpreter over the harnessed
+app and reports which static fields genuinely reach an Activity — the
+ground truth behind the TruA/FalA columns of Table 1 (the paper determined
+these manually; we determine them by execution).
+
+``chain_app``/``branchy_app`` generate parameterized programs for the
+scaling micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+from ..android.harness import build_full_source
+from ..ir import Interpreter, Limits, build_program, heap_reaches
+from ..lang import frontend
+from .apps import BenchApp
+
+
+_TRUTH_CACHE: dict = {}
+
+
+def concrete_leak_pairs(
+    app: BenchApp, limits: Limits | None = None
+) -> set[tuple[tuple[str, str], object]]:
+    """Ground truth at alarm granularity: ((class, field), activity
+    allocation site) pairs genuinely reachable in some bounded concrete
+    execution — the paper's "(static field, Activity) alarm pairs".
+    Cached per app for the default limits (the tables query it often)."""
+    if limits is None and app.name in _TRUTH_CACHE:
+        return set(_TRUTH_CACHE[app.name])
+    source = build_full_source(app.source)
+    program = build_program(frontend(source))
+    interp = Interpreter(
+        program,
+        limits
+        or Limits(max_loop_iterations=4, max_call_depth=32, max_steps=60_000, max_paths=600),
+    )
+    pairs: set[tuple[tuple[str, str], object]] = set()
+    for run in interp.explore():
+        for (key, site) in heap_reaches(run.statics, program.class_table, {"Activity"}):
+            pairs.add((key, site))
+    if limits is None:
+        _TRUTH_CACHE[app.name] = set(pairs)
+    return pairs
+
+
+def concrete_leaks(app: BenchApp, limits: Limits | None = None) -> set[tuple[str, str]]:
+    """Field-level ground truth (the coarse view used in app metadata)."""
+    return {key for key, _ in concrete_leak_pairs(app, limits)}
+
+
+# ---------------------------------------------------------------------------
+# Scaling generators
+# ---------------------------------------------------------------------------
+
+
+def chain_app(depth: int) -> str:
+    """An app whose leak flows through a call chain of ``depth`` helpers —
+    stresses interprocedural propagation and callee skipping."""
+    helpers = []
+    for i in range(depth):
+        callee = f"Chain.h{i + 1}(a)" if i + 1 < depth else "Chain.sink(a)"
+        helpers.append(f"    static void h{i}(Activity a) {{ {callee}; }}")
+    helpers.append("    static void sink(Activity a) { Chain.hold = a; }")
+    body = "\n".join(helpers)
+    entry = "Chain.h0(this);" if depth > 0 else "Chain.sink(this);"
+    return f"""
+class ChainActivity extends Activity {{
+    void onCreate() {{ {entry} }}
+}}
+class Chain {{
+    static Activity hold;
+{body}
+}}
+"""
+
+
+def branchy_app(branches: int, leaky: bool) -> str:
+    """An app with ``branches`` sequential nondeterministic branches before
+    a (guarded or unguarded) leaking store — stresses path enumeration."""
+    lines = ["        int x = 0;"]
+    for i in range(branches):
+        lines.append(f"        if (nondet()) {{ x = x + 1; }} else {{ x = x + 2; }}")
+    guard = "true" if leaky else f"x > {3 * branches}"
+    lines.append(f"        if ({guard}) {{ Sink.hold = this; }}")
+    body = "\n".join(lines)
+    return f"""
+class BranchActivity extends Activity {{
+    void onCreate() {{
+{body}
+    }}
+}}
+class Sink {{
+    static Activity hold;
+}}
+"""
+
+
+def container_app(n_activities: int) -> str:
+    """``n`` activities each pushing themselves into local Vecs — the
+    Figure 1 pattern replicated, stressing the null-object refutations."""
+    classes = []
+    for i in range(n_activities):
+        classes.append(
+            f"""
+class LocalAct{i} extends Activity {{
+    void onCreate() {{
+        Vec v = new Vec();
+        v.push(this);
+        v.push("tag{i}");
+    }}
+}}
+"""
+        )
+    return "\n".join(classes)

@@ -1,0 +1,48 @@
+"""Additional heap-reachability clients beyond the Android leak detector —
+the applications the paper's introduction sketches: downcast safety,
+lifetime/escape assertions, and field-encapsulation checking."""
+
+from .casts import POSSIBLY_UNSAFE, SAFE, UNKNOWN, CastReport, check_casts, unsafe_casts
+from .encapsulation import ExposureResult, check_encapsulation, encapsulated
+from .immutability import (
+    IMMUTABLE,
+    MUTATED,
+    ImmutabilityReport,
+    MutationSite,
+    check_immutable,
+)
+from .reachability import (
+    HOLDS,
+    INCONCLUSIVE,
+    VIOLATED,
+    ReachabilityResult,
+    assert_not_leaked,
+    assert_unreachable,
+    refute_reachability,
+    verified,
+)
+
+__all__ = [
+    "POSSIBLY_UNSAFE",
+    "SAFE",
+    "UNKNOWN",
+    "CastReport",
+    "check_casts",
+    "unsafe_casts",
+    "ExposureResult",
+    "check_encapsulation",
+    "encapsulated",
+    "IMMUTABLE",
+    "MUTATED",
+    "ImmutabilityReport",
+    "MutationSite",
+    "check_immutable",
+    "HOLDS",
+    "INCONCLUSIVE",
+    "VIOLATED",
+    "ReachabilityResult",
+    "assert_not_leaked",
+    "assert_unreachable",
+    "refute_reachability",
+    "verified",
+]

@@ -1,0 +1,94 @@
+"""Immutability assertions — the last of the paper-intro clients.
+
+"...statically checkable assertions about, for example, object lifetimes,
+encapsulation of fields, or **immutability of objects**."
+
+A class is (shallowly) immutable after construction when no field write
+outside its own constructors can target one of its instances. The
+flow-insensitive points-to sets flag every write whose base *may* be such
+an instance; the refutation engine then checks each flagged write: *can
+execution reach this write with the base holding an instance of the
+class?* All refuted ⇒ immutability verified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..ir import instructions as ins
+from ..ir.program import INIT
+from ..pointsto import PointsToResult
+from ..symbolic import Engine, SearchConfig
+from ..symbolic.stats import REFUTED, WITNESSED
+
+IMMUTABLE = "immutable"
+MUTATED = "mutated"
+UNKNOWN = "unknown"
+
+
+@dataclass
+class MutationSite:
+    label: int
+    method: str
+    write: Union[ins.FieldWrite, ins.ArrayWrite]
+    status: str  # refuted | witnessed | timeout
+    witness_trace: Optional[list[int]] = None
+
+
+@dataclass
+class ImmutabilityReport:
+    class_name: str
+    status: str  # immutable | mutated | unknown
+    sites: list[MutationSite]
+
+    @property
+    def verified(self) -> bool:
+        return self.status == IMMUTABLE
+
+
+def check_immutable(
+    pta: PointsToResult,
+    class_name: str,
+    config: Optional[SearchConfig] = None,
+    engine: Optional[Engine] = None,
+) -> ImmutabilityReport:
+    """Check that instances of ``class_name`` are never mutated outside
+    their own constructors."""
+    engine = engine or Engine(pta, config or SearchConfig())
+    table = pta.program.class_table
+    targets = frozenset(
+        loc
+        for loc in pta.graph.all_abs_locs()
+        if loc.site.kind == "object"
+        and table.site_is_instance(loc.site, class_name)
+    )
+    sites: list[MutationSite] = []
+    overall = IMMUTABLE
+    for qname in sorted(pta.call_graph.reachable_methods):
+        method = pta.program.methods.get(qname)
+        if method is None:
+            continue
+        # Writes inside the class's own constructors are initialization.
+        if method.name == INIT and table.is_subclass(method.class_name, class_name):
+            continue
+        for cmd in pta.program.commands_of(qname):
+            if not isinstance(cmd, (ins.FieldWrite, ins.ArrayWrite)):
+                continue
+            suspects = targets & pta.pt_local(qname, cmd.base)
+            if not suspects:
+                continue
+            result = engine.refute_fact_at(cmd.label, [(cmd.base, suspects)])
+            if result.status == REFUTED:
+                status = "refuted"
+            elif result.status == WITNESSED:
+                status = "witnessed"
+                overall = MUTATED
+            else:
+                status = "timeout"
+                if overall == IMMUTABLE:
+                    overall = UNKNOWN
+            sites.append(
+                MutationSite(cmd.label, qname, cmd, status, result.witness_trace)
+            )
+    return ImmutabilityReport(class_name, overall, sites)

@@ -1,0 +1,135 @@
+"""Generic heap-reachability assertions.
+
+The paper's introduction: "A heap reachability checker would also enable a
+developer to write statically checkable assertions about, for example,
+object lifetimes, encapsulation of fields, or immutability of objects."
+
+This module provides that checker over arbitrary programs (no Android
+library or harness required): assert that no instance of a target class —
+or of a specific allocation site — is ever reachable from a given static
+field. The verification loop is the same edge-refutation / re-routing loop
+as the leak client (Section 2 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..pointsto import PointsToResult, find_heap_path
+from ..pointsto.graph import AbsLoc, HeapEdge, StaticFieldNode
+from ..symbolic import Engine, SearchConfig
+
+HOLDS = "holds"  # the assertion is verified (all paths refuted)
+VIOLATED = "violated"  # a fully witnessed heap path exists
+INCONCLUSIVE = "inconclusive"  # timeouts prevented a verdict
+
+
+@dataclass
+class ReachabilityResult:
+    root: StaticFieldNode
+    target: AbsLoc
+    status: str
+    witnessed_path: Optional[list[HeapEdge]] = None
+    refuted_edges: int = 0
+    timeouts: int = 0
+
+
+def refute_reachability(
+    pta: PointsToResult,
+    engine: Engine,
+    root: StaticFieldNode,
+    target: AbsLoc,
+    shared_refuted: Optional[set] = None,
+) -> ReachabilityResult:
+    """The Section 2 loop: find a heap path, refute edges, re-route."""
+    refuted: set[HeapEdge] = shared_refuted if shared_refuted is not None else set()
+    refuted_count = 0
+    timeouts = 0
+    while True:
+        path = find_heap_path(pta.graph, root, target, refuted)
+        if path is None:
+            return ReachabilityResult(root, target, HOLDS, None, refuted_count, timeouts)
+        progressed = False
+        saw_timeout = False
+        for edge in path:
+            result = engine.refute_edge(edge)
+            if result.refuted:
+                refuted.add(edge)
+                refuted_count += 1
+                progressed = True
+                break
+            if result.timed_out:
+                saw_timeout = True
+                timeouts += 1
+        if not progressed:
+            status = INCONCLUSIVE if saw_timeout else VIOLATED
+            return ReachabilityResult(
+                root, target, status, path, refuted_count, timeouts
+            )
+
+
+def assert_unreachable(
+    pta: PointsToResult,
+    root_class: str,
+    root_field: str,
+    target_class: str,
+    config: Optional[SearchConfig] = None,
+    engine: Optional[Engine] = None,
+) -> list[ReachabilityResult]:
+    """Check "no instance of ``target_class`` is ever reachable from the
+    static field ``root_class.root_field``". Returns one result per target
+    abstract location connected in the flow-insensitive graph (empty list
+    means the points-to analysis already proves the assertion)."""
+    engine = engine or Engine(pta, config or SearchConfig())
+    root = StaticFieldNode(root_class, root_field)
+    table = pta.program.class_table
+    targets = [
+        loc
+        for loc in pta.graph.all_abs_locs()
+        if not loc.is_array
+        and loc.site.kind == "object"
+        and table.site_is_instance(loc.site, target_class)
+    ]
+    shared: set[HeapEdge] = set()
+    results = []
+    for target in sorted(targets, key=str):
+        if find_heap_path(pta.graph, root, target) is None:
+            continue  # not even flow-insensitively reachable
+        results.append(refute_reachability(pta, engine, root, target, shared))
+    return results
+
+
+def assert_not_leaked(
+    pta: PointsToResult,
+    site_hint: str,
+    config: Optional[SearchConfig] = None,
+    engine: Optional[Engine] = None,
+) -> list[ReachabilityResult]:
+    """Escape-to-static check for one allocation site: is any instance
+    allocated at the site named ``site_hint`` (e.g. ``"box0"``) reachable
+    from *any* static field? The lifetime-assertion flavor of the client."""
+    engine = engine or Engine(pta, config or SearchConfig())
+    targets = [
+        loc for loc in pta.graph.all_abs_locs() if loc.site.hint == site_hint
+    ]
+    roots = sorted(
+        {
+            node
+            for node in pta.graph.pts
+            if isinstance(node, StaticFieldNode) and pta.graph.pts[node]
+        },
+        key=str,
+    )
+    shared: set[HeapEdge] = set()
+    results = []
+    for root in roots:
+        for target in sorted(targets, key=str):
+            if find_heap_path(pta.graph, root, target) is None:
+                continue
+            results.append(refute_reachability(pta, engine, root, target, shared))
+    return results
+
+
+def verified(results: list[ReachabilityResult]) -> bool:
+    """True when the assertion holds: every connected pair was refuted."""
+    return all(r.status == HOLDS for r in results)

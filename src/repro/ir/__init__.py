@@ -1,0 +1,58 @@
+"""Structured intermediate representation: commands, statements, builder,
+program container, printer, and a bounded concrete interpreter."""
+
+from . import instructions
+from .builder import LoweringError, build_program
+from .instructions import AllocSite, Command
+from .interp import Interpreter, Limits, ProducedEdge, Run, heap_reaches
+from .printer import print_method, print_program, print_stmt
+from .program import (
+    CLINIT,
+    ENTRY_CLASS,
+    ENTRY_METHOD,
+    FIN_VAR,
+    INIT,
+    RET_VAR,
+    IRMethod,
+    IRProgram,
+)
+from .stmts import AtomicStmt, Choice, Loop, Seq, Stmt, seq, walk_commands, walk_statements
+
+__all__ = [
+    "instructions",
+    "LoweringError",
+    "build_program",
+    "AllocSite",
+    "Command",
+    "Interpreter",
+    "Limits",
+    "ProducedEdge",
+    "Run",
+    "heap_reaches",
+    "print_method",
+    "print_program",
+    "print_stmt",
+    "CLINIT",
+    "ENTRY_CLASS",
+    "ENTRY_METHOD",
+    "FIN_VAR",
+    "INIT",
+    "RET_VAR",
+    "IRMethod",
+    "IRProgram",
+    "AtomicStmt",
+    "Choice",
+    "Loop",
+    "Seq",
+    "Stmt",
+    "seq",
+    "walk_commands",
+    "walk_statements",
+]
+
+
+def compile_program(source: str, want_entry: bool = True) -> IRProgram:
+    """Front-to-back convenience: parse, check, and lower ``source``."""
+    from ..lang import frontend
+
+    return build_program(frontend(source), want_entry=want_entry)

@@ -1,0 +1,394 @@
+"""Atomic commands and pure expressions of the structured IR.
+
+The IR mirrors the formal language of the paper (Section 3):
+
+    commands c ::= x := y | x := y.f | x.f := y | x := new_a t() | assume e
+    statements s ::= c | skip | s1 ; s2 | s1 [] s2 | loop s
+
+extended with the pieces needed for real programs: statics, arrays, integer
+and boolean computation, calls, and a ``nondet`` command. ``assume`` guards
+carry an *unlowered* pure expression tree, which lets the symbolic executor
+apply the guard-relevance optimization of Section 3.2 (add path constraints
+only when a branch actually changed the query).
+
+Every atomic command carries a globally unique integer ``label`` (a program
+point) assigned by the IR builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..lang.errors import SourcePosition
+
+# ---------------------------------------------------------------------------
+# Atoms: the operands of atomic commands
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VarAtom:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class IntAtom:
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BoolAtom:
+    value: bool
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class NullAtom:
+    def __str__(self) -> str:
+        return "null"
+
+
+Atom = Union[VarAtom, IntAtom, BoolAtom, NullAtom]
+
+
+# ---------------------------------------------------------------------------
+# Allocation sites
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AllocSite:
+    """A static allocation site; the unit of heap abstraction.
+
+    ``kind`` is ``"object"``, ``"array"``, or ``"string"`` (string literals
+    are allocations, which is what lets the WIT-NEW rule refute the
+    ``objs.push("hello")`` call in the paper's Figure 1).
+    """
+
+    site_id: int
+    class_name: str  # element type for arrays; "String" for string literals
+    method: str  # qualified name of the allocating method
+    kind: str = "object"
+    hint: str = ""  # a human-readable name, e.g. "vec1"
+
+    def __str__(self) -> str:
+        if self.hint:
+            return self.hint
+        return f"{self.class_name.lower()}{self.site_id}"
+
+    @property
+    def is_array(self) -> bool:
+        return self.kind == "array"
+
+
+# ---------------------------------------------------------------------------
+# Pure guard expressions (for ``assume``)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PVar:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PInt:
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class PBool:
+    value: bool
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class PNull:
+    def __str__(self) -> str:
+        return "null"
+
+
+@dataclass(frozen=True)
+class PField:
+    """An instance-field read inside a guard, e.g. ``this.sz``."""
+
+    base: "PureExpr"
+    field: str
+
+    def __str__(self) -> str:
+        return f"{self.base}.{self.field}"
+
+
+@dataclass(frozen=True)
+class PStatic:
+    class_name: str
+    field: str
+
+    def __str__(self) -> str:
+        return f"{self.class_name}.{self.field}"
+
+
+@dataclass(frozen=True)
+class PBin:
+    op: str  # arithmetic, comparison, equality, or boolean connective
+    left: "PureExpr"
+    right: "PureExpr"
+    ref_operands: bool = False  # True for ==/!= over references
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class PNot:
+    operand: "PureExpr"
+
+    def __str__(self) -> str:
+        return f"!{self.operand}"
+
+
+PureExpr = Union[PVar, PInt, PBool, PNull, PField, PStatic, PBin, PNot]
+
+
+def pure_reads_heap(expr: PureExpr) -> bool:
+    """True if the guard reads any field (instance or static)."""
+    if isinstance(expr, (PField, PStatic)):
+        return True
+    if isinstance(expr, PBin):
+        return pure_reads_heap(expr.left) or pure_reads_heap(expr.right)
+    if isinstance(expr, PNot):
+        return pure_reads_heap(expr.operand)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Atomic commands
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Command:
+    """Base class of atomic commands. ``label`` is the program point."""
+
+    label: int = field(default=-1, init=False, compare=False)
+    pos: SourcePosition = field(
+        default_factory=lambda: SourcePosition(0, 0), init=False, compare=False
+    )
+
+
+@dataclass
+class Assign(Command):
+    lhs: str
+    rhs: Atom
+
+    def __str__(self) -> str:
+        return f"{self.lhs} := {self.rhs}"
+
+
+@dataclass
+class BinOpCmd(Command):
+    lhs: str
+    op: str
+    left: Atom
+    right: Atom
+    ref_operands: bool = False  # True for ==/!= comparing references
+
+    def __str__(self) -> str:
+        return f"{self.lhs} := {self.left} {self.op} {self.right}"
+
+
+@dataclass
+class UnOpCmd(Command):
+    lhs: str
+    op: str  # "!" or "-"
+    operand: Atom
+
+    def __str__(self) -> str:
+        return f"{self.lhs} := {self.op}{self.operand}"
+
+
+@dataclass
+class New(Command):
+    lhs: str
+    site: AllocSite
+
+    def __str__(self) -> str:
+        return f"{self.lhs} := new_{self.site} {self.site.class_name}"
+
+
+@dataclass
+class NewArray(Command):
+    lhs: str
+    site: AllocSite
+    size: Atom
+
+    def __str__(self) -> str:
+        return f"{self.lhs} := new_{self.site} {self.site.class_name}[{self.size}]"
+
+
+@dataclass
+class FieldRead(Command):
+    lhs: str
+    base: str
+    field_name: str
+
+    def __str__(self) -> str:
+        return f"{self.lhs} := {self.base}.{self.field_name}"
+
+
+@dataclass
+class FieldWrite(Command):
+    base: str
+    field_name: str
+    rhs: Atom
+
+    def __str__(self) -> str:
+        return f"{self.base}.{self.field_name} := {self.rhs}"
+
+
+@dataclass
+class StaticRead(Command):
+    lhs: str
+    class_name: str
+    field_name: str
+
+    def __str__(self) -> str:
+        return f"{self.lhs} := {self.class_name}.{self.field_name}"
+
+
+@dataclass
+class StaticWrite(Command):
+    class_name: str
+    field_name: str
+    rhs: Atom
+
+    def __str__(self) -> str:
+        return f"{self.class_name}.{self.field_name} := {self.rhs}"
+
+
+@dataclass
+class ArrayRead(Command):
+    lhs: str
+    base: str
+    index: Atom
+
+    def __str__(self) -> str:
+        return f"{self.lhs} := {self.base}[{self.index}]"
+
+
+@dataclass
+class ArrayWrite(Command):
+    base: str
+    index: Atom
+    rhs: Atom
+
+    def __str__(self) -> str:
+        return f"{self.base}[{self.index}] := {self.rhs}"
+
+
+@dataclass
+class ArrayLen(Command):
+    lhs: str
+    base: str
+
+    def __str__(self) -> str:
+        return f"{self.lhs} := {self.base}.length"
+
+
+@dataclass
+class Invoke(Command):
+    """A method call.
+
+    ``kind`` is ``"virtual"`` (dispatch on the receiver's dynamic type),
+    ``"static"`` (direct, ``receiver`` is None), or ``"special"`` (direct
+    with a receiver: constructor and ``super(...)`` calls).
+    """
+
+    lhs: Optional[str]
+    receiver: Optional[str]
+    method_name: str
+    args: list[Atom]
+    decl_class: str
+    kind: str = "virtual"
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.args)
+        target = self.receiver if self.receiver else self.decl_class
+        call = f"{target}.{self.method_name}({args})"
+        if self.lhs is not None:
+            return f"{self.lhs} := {call}"
+        return call
+
+
+@dataclass
+class CastCmd(Command):
+    """``lhs := (T) src`` — succeeds for null and instances of (subclasses
+    of) T; otherwise the program terminates (uncaught ClassCastException)."""
+
+    lhs: str
+    class_name: str
+    src: str
+
+    def __str__(self) -> str:
+        return f"{self.lhs} := ({self.class_name}) {self.src}"
+
+
+@dataclass
+class InstanceOfCmd(Command):
+    """``lhs := src instanceof T`` (false for null)."""
+
+    lhs: str
+    src: str
+    class_name: str
+
+    def __str__(self) -> str:
+        return f"{self.lhs} := {self.src} instanceof {self.class_name}"
+
+
+@dataclass
+class ThrowCmd(Command):
+    """``throw src`` — terminates execution (exceptions are never caught,
+    matching the paper's model); no program point after it is reachable."""
+
+    src: str
+
+    def __str__(self) -> str:
+        return f"throw {self.src}"
+
+
+@dataclass
+class Assume(Command):
+    expr: PureExpr
+    polarity: bool = True
+
+    def __str__(self) -> str:
+        if self.polarity:
+            return f"assume {self.expr}"
+        return f"assume !({self.expr})"
+
+
+@dataclass
+class Nondet(Command):
+    """``lhs`` receives a nondeterministic boolean."""
+
+    lhs: str
+
+    def __str__(self) -> str:
+        return f"{self.lhs} := nondet()"

@@ -1,0 +1,51 @@
+"""Textual dump of the structured IR, used in debugging and golden tests."""
+
+from __future__ import annotations
+
+from .program import IRMethod, IRProgram
+from .stmts import AtomicStmt, Choice, Loop, Seq, Stmt
+
+_INDENT = "  "
+
+
+def print_program(program: IRProgram) -> str:
+    parts = []
+    for qname in sorted(program.methods):
+        parts.append(print_method(program.methods[qname]))
+    return "\n".join(parts)
+
+
+def print_method(method: IRMethod, show_labels: bool = False) -> str:
+    params = ", ".join(method.params)
+    lines = [f"method {method.qualified_name}({params}):"]
+    lines.extend(_stmt_lines(method.body, 1, show_labels))
+    return "\n".join(lines) + "\n"
+
+
+def print_stmt(stmt: Stmt, show_labels: bool = False) -> str:
+    return "\n".join(_stmt_lines(stmt, 0, show_labels))
+
+
+def _stmt_lines(stmt: Stmt, depth: int, show_labels: bool) -> list[str]:
+    pad = _INDENT * depth
+    prefix = f"[{stmt.label}] " if show_labels and stmt.label >= 0 else ""
+    if isinstance(stmt, AtomicStmt):
+        return [f"{pad}{prefix}{stmt.cmd}"]
+    if isinstance(stmt, Seq):
+        if not stmt.stmts:
+            return [f"{pad}{prefix}skip"]
+        lines = []
+        for child in stmt.stmts:
+            lines.extend(_stmt_lines(child, depth, show_labels))
+        return lines
+    if isinstance(stmt, Choice):
+        lines = [f"{pad}{prefix}choice"]
+        for i, branch in enumerate(stmt.branches):
+            lines.append(f"{pad}{_INDENT}[] branch {i}:")
+            lines.extend(_stmt_lines(branch, depth + 2, show_labels))
+        return lines
+    if isinstance(stmt, Loop):
+        lines = [f"{pad}{prefix}loop"]
+        lines.extend(_stmt_lines(stmt.body, depth + 1, show_labels))
+        return lines
+    raise ValueError(f"unknown statement {type(stmt).__name__}")

@@ -1,0 +1,83 @@
+"""Structured statements of the IR.
+
+The statement language is exactly the paper's: atomic commands, sequencing,
+nondeterministic choice, and ``loop`` (execute the body zero or more times).
+``if`` and ``while`` are desugared by the builder:
+
+    if (e) s1 else s2   =   (assume e; s1) [] (assume !e; s2)
+    while (e) s         =   loop (assume e; s); assume !e
+
+Compound statements carry a unique ``label`` too, used by the symbolic
+executor as a key for query histories at loop heads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .instructions import Command
+
+
+@dataclass
+class Stmt:
+    label: int = field(default=-1, init=False, compare=False)
+
+
+@dataclass
+class AtomicStmt(Stmt):
+    cmd: Command
+
+    def __str__(self) -> str:
+        return str(self.cmd)
+
+
+@dataclass
+class Seq(Stmt):
+    stmts: list[Stmt]
+
+
+@dataclass
+class Choice(Stmt):
+    branches: list[Stmt]
+
+
+@dataclass
+class Loop(Stmt):
+    body: Stmt
+
+
+SKIP = Seq([])
+
+
+def seq(stmts: list[Stmt]) -> Stmt:
+    """Smart sequencing: flattens nested ``Seq`` and drops empties."""
+    flat: list[Stmt] = []
+    for stmt in stmts:
+        if isinstance(stmt, Seq):
+            flat.extend(stmt.stmts)
+        else:
+            flat.append(stmt)
+    if len(flat) == 1:
+        return flat[0]
+    return Seq(flat)
+
+
+def walk_statements(stmt: Stmt) -> Iterator[Stmt]:
+    """Yield ``stmt`` and all statements nested inside it, preorder."""
+    yield stmt
+    if isinstance(stmt, Seq):
+        for child in stmt.stmts:
+            yield from walk_statements(child)
+    elif isinstance(stmt, Choice):
+        for branch in stmt.branches:
+            yield from walk_statements(branch)
+    elif isinstance(stmt, Loop):
+        yield from walk_statements(stmt.body)
+
+
+def walk_commands(stmt: Stmt) -> Iterator[Command]:
+    """Yield every atomic command nested in ``stmt``, preorder."""
+    for child in walk_statements(stmt):
+        if isinstance(child, AtomicStmt):
+            yield child.cmd

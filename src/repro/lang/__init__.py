@@ -1,0 +1,35 @@
+"""The mini-Java surface language: lexer, parser, AST, and type checker.
+
+This package is the frontend substrate of the reproduction: the original
+Thresher analyzed Java bytecode through WALA; we analyze a small Java subset
+through this frontend. See DESIGN.md for the substitution rationale.
+"""
+
+from .ast import CompilationUnit
+from .errors import FrontendError, LexError, ParseError, TypeCheckError
+from .lexer import Token, tokenize
+from .parser import parse_program
+from .pretty import pretty_expr, pretty_program, pretty_stmt
+from .types import CheckedProgram, ClassTable, check_program
+
+__all__ = [
+    "CompilationUnit",
+    "FrontendError",
+    "LexError",
+    "ParseError",
+    "TypeCheckError",
+    "Token",
+    "tokenize",
+    "parse_program",
+    "pretty_expr",
+    "pretty_program",
+    "pretty_stmt",
+    "CheckedProgram",
+    "ClassTable",
+    "check_program",
+]
+
+
+def frontend(source: str) -> CheckedProgram:
+    """Parse and type-check ``source`` in one step."""
+    return check_program(parse_program(source))

@@ -1,0 +1,64 @@
+"""Error types raised by the mini-Java frontend.
+
+Every frontend error carries a source position so that tooling built on top
+of the frontend (the leak-report triage UI of the original Thresher tool, or
+simply test assertions here) can point at the offending source text.
+"""
+
+from __future__ import annotations
+
+
+class SourcePosition:
+    """A (line, column) position in a source file, 1-based."""
+
+    __slots__ = ("line", "column")
+
+    def __init__(self, line: int, column: int) -> None:
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SourcePosition)
+            and self.line == other.line
+            and self.column == other.column
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.line, self.column))
+
+
+class FrontendError(Exception):
+    """Base class for all errors produced while processing source text."""
+
+    def __init__(self, message: str, pos: SourcePosition | None = None) -> None:
+        self.message = message
+        self.pos = pos
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        if self.pos is None:
+            return self.message
+        return f"{self.pos}: {self.message}"
+
+
+class LexError(FrontendError):
+    """Raised when the lexer encounters an unrecognized character sequence."""
+
+
+class ParseError(FrontendError):
+    """Raised when the parser encounters an unexpected token."""
+
+
+class TypeError_(FrontendError):
+    """Raised by the type checker.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``TypeError``; exported as ``TypeCheckError`` from the package.
+    """
+
+
+TypeCheckError = TypeError_

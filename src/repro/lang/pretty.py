@@ -1,0 +1,140 @@
+"""Pretty printer for mini-Java ASTs.
+
+Primarily used in error messages, debugging dumps, and round-trip tests
+(``parse(pretty(parse(src)))`` must produce an equivalent tree).
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+_INDENT = "    "
+
+
+def pretty_program(unit: ast.CompilationUnit) -> str:
+    return "\n\n".join(pretty_class(cls) for cls in unit.classes) + "\n"
+
+
+def pretty_class(cls: ast.ClassDecl) -> str:
+    header = f"class {cls.name}"
+    if cls.superclass:
+        header += f" extends {cls.superclass}"
+    lines = [header + " {"]
+    for fld in cls.fields:
+        mods = ""
+        if fld.is_static:
+            mods += "static "
+        if fld.is_final:
+            mods += "final "
+        line = f"{_INDENT}{mods}{fld.decl_type} {fld.name}"
+        if fld.init is not None:
+            line += f" = {pretty_expr(fld.init)}"
+        lines.append(line + ";")
+    for mth in cls.methods:
+        lines.append("")
+        lines.append(_pretty_method(cls.name, mth))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _pretty_method(class_name: str, mth: ast.MethodDecl) -> str:
+    params = ", ".join(f"{p.type} {p.name}" for p in mth.params)
+    if mth.is_constructor:
+        header = f"{_INDENT}{class_name}({params})"
+    else:
+        mods = "static " if mth.is_static else ""
+        header = f"{_INDENT}{mods}{mth.ret_type} {mth.name}({params})"
+    body = pretty_stmt(mth.body, 1)
+    return f"{header} {body}"
+
+
+def pretty_stmt(stmt: ast.Stmt, depth: int = 0) -> str:
+    pad = _INDENT * depth
+    if isinstance(stmt, ast.Block):
+        if not stmt.stmts:
+            return "{ }"
+        inner = "\n".join(
+            _INDENT * (depth + 1) + pretty_stmt(s, depth + 1) for s in stmt.stmts
+        )
+        return "{\n" + inner + "\n" + pad + "}"
+    if isinstance(stmt, ast.LocalDecl):
+        text = f"{stmt.decl_type} {stmt.name}"
+        if stmt.init is not None:
+            text += f" = {pretty_expr(stmt.init)}"
+        return text + ";"
+    if isinstance(stmt, ast.AssignStmt):
+        return f"{pretty_expr(stmt.lhs)} = {pretty_expr(stmt.rhs)};"
+    if isinstance(stmt, ast.ExprStmt):
+        return f"{pretty_expr(stmt.expr)};"
+    if isinstance(stmt, ast.If):
+        text = f"if ({pretty_expr(stmt.cond)}) {pretty_stmt(_blockify(stmt.then), depth)}"
+        if stmt.orelse is not None:
+            text += f" else {pretty_stmt(_blockify(stmt.orelse), depth)}"
+        return text
+    if isinstance(stmt, ast.While):
+        return f"while ({pretty_expr(stmt.cond)}) {pretty_stmt(_blockify(stmt.body), depth)}"
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return "return;"
+        return f"return {pretty_expr(stmt.value)};"
+    if isinstance(stmt, ast.Throw):
+        return f"throw {pretty_expr(stmt.value)};"
+    if isinstance(stmt, ast.Assert):
+        return f"assert {pretty_expr(stmt.cond)};"
+    if isinstance(stmt, ast.Break):
+        return "break;"
+    if isinstance(stmt, ast.Continue):
+        return "continue;"
+    raise ValueError(f"unknown statement {type(stmt).__name__}")
+
+
+def _blockify(stmt: ast.Stmt) -> ast.Block:
+    if isinstance(stmt, ast.Block):
+        return stmt
+    return ast.Block(stmt.pos, [stmt])
+
+
+def pretty_expr(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.NullLit):
+        return "null"
+    if isinstance(expr, ast.StringLit):
+        escaped = expr.value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(expr, (ast.NameRef, ast.VarRef, ast.ClassRef)):
+        return expr.name
+    if isinstance(expr, ast.ThisRef):
+        return "this"
+    if isinstance(expr, ast.FieldAccess):
+        return f"{pretty_expr(expr.target)}.{expr.name}"
+    if isinstance(expr, ast.ArrayLength):
+        return f"{pretty_expr(expr.target)}.length"
+    if isinstance(expr, ast.ArrayIndex):
+        return f"{pretty_expr(expr.target)}[{pretty_expr(expr.index)}]"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(pretty_expr(a) for a in expr.args)
+        if expr.target is None:
+            return f"{expr.name}({args})"
+        return f"{pretty_expr(expr.target)}.{expr.name}({args})"
+    if isinstance(expr, ast.NondetCall):
+        return "nondet()"
+    if isinstance(expr, ast.SuperCall):
+        args = ", ".join(pretty_expr(a) for a in expr.args)
+        return f"super({args})"
+    if isinstance(expr, ast.NewObject):
+        args = ", ".join(pretty_expr(a) for a in expr.args)
+        return f"new {expr.class_name}({args})"
+    if isinstance(expr, ast.NewArray):
+        return f"new {expr.elem_type}[{pretty_expr(expr.size)}]"
+    if isinstance(expr, ast.Binary):
+        return f"({pretty_expr(expr.left)} {expr.op} {pretty_expr(expr.right)})"
+    if isinstance(expr, ast.Unary):
+        return f"{expr.op}{pretty_expr(expr.operand)}"
+    if isinstance(expr, ast.Cast):
+        return f"(({expr.target_type}) {pretty_expr(expr.operand)})"
+    if isinstance(expr, ast.InstanceOf):
+        return f"({pretty_expr(expr.operand)} instanceof {expr.class_name})"
+    raise ValueError(f"unknown expression {type(expr).__name__}")

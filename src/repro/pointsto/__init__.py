@@ -1,0 +1,127 @@
+"""Flow-insensitive Andersen points-to analysis with on-the-fly call graph,
+context-sensitivity policies, mod/ref, edge producers, and heap paths."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ir.program import IRProgram
+from .andersen import AndersenSolver, CallGraph, solve
+from .context import (
+    CallSiteSensitive,
+    ContainerSensitive,
+    ContextInsensitive,
+    ContextPolicy,
+    ObjectSensitive,
+)
+from .graph import (
+    ELEMS,
+    AbsLoc,
+    FieldNode,
+    HeapEdge,
+    Node,
+    PointsToGraph,
+    StaticFieldNode,
+    VarNode,
+)
+from .heappaths import (
+    find_alarms,
+    find_heap_path,
+    reaches,
+    static_roots,
+    target_locations,
+)
+from .modref import ModRefAnalysis, ModSet
+from .producers import EdgeKey, compute_producers, edge_key
+from .termination import NormalCompletion
+
+
+@dataclass
+class PointsToResult:
+    """Everything downstream phases need from the up-front analysis."""
+
+    program: IRProgram
+    graph: PointsToGraph
+    call_graph: CallGraph
+    policy: ContextPolicy
+    suppressed: set[AbsLoc]
+    producers: dict[EdgeKey, list[int]]
+    modref: ModRefAnalysis
+    completion: NormalCompletion
+
+    # -- delegation helpers used heavily by the symbolic executor -----------
+
+    def pt_local(self, method: str, var: str) -> frozenset[AbsLoc]:
+        return self.graph.pt_local(method, var)
+
+    def pt_static(self, class_name: str, field_name: str) -> frozenset[AbsLoc]:
+        return self.graph.pt_static(class_name, field_name)
+
+    def pt_field(self, loc: AbsLoc, field_name: str) -> frozenset[AbsLoc]:
+        return self.graph.pt_field(loc, field_name)
+
+    def pt_field_of_set(
+        self, locs: frozenset[AbsLoc], field_name: str
+    ) -> frozenset[AbsLoc]:
+        return self.graph.pt_field_of_set(locs, field_name)
+
+    def producers_of(self, edge: HeapEdge) -> list[int]:
+        return self.producers.get(edge_key(edge), [])
+
+    def callees_of(self, label: int) -> set[str]:
+        return self.call_graph.callees_of(label)
+
+    def callers_of(self, qname: str) -> set[tuple[str, int]]:
+        return self.call_graph.callers_of(qname)
+
+
+def analyze(
+    program: IRProgram,
+    policy: Optional[ContextPolicy] = None,
+    empty_statics: Optional[set[tuple[str, str]]] = None,
+    roots: Optional[list[str]] = None,
+) -> PointsToResult:
+    """Run the full up-front analysis pipeline: points-to + call graph +
+    mod/ref + edge producers."""
+    policy = policy or ContextInsensitive()
+    graph, call_graph, suppressed = solve(program, policy, empty_statics, roots)
+    producers = compute_producers(program, graph, call_graph)
+    modref = ModRefAnalysis(program, call_graph)
+    completion = NormalCompletion(program, call_graph)
+    return PointsToResult(
+        program, graph, call_graph, policy, suppressed, producers, modref, completion
+    )
+
+
+__all__ = [
+    "AndersenSolver",
+    "CallGraph",
+    "solve",
+    "analyze",
+    "PointsToResult",
+    "ContextPolicy",
+    "ContextInsensitive",
+    "ObjectSensitive",
+    "ContainerSensitive",
+    "CallSiteSensitive",
+    "ELEMS",
+    "AbsLoc",
+    "FieldNode",
+    "HeapEdge",
+    "Node",
+    "PointsToGraph",
+    "StaticFieldNode",
+    "VarNode",
+    "ModRefAnalysis",
+    "ModSet",
+    "NormalCompletion",
+    "EdgeKey",
+    "compute_producers",
+    "edge_key",
+    "find_alarms",
+    "find_heap_path",
+    "reaches",
+    "static_roots",
+    "target_locations",
+]

@@ -1,0 +1,121 @@
+"""Heap-path enumeration over the points-to graph.
+
+An *alarm* for the leak client is a points-to path from a static field to an
+Activity abstract location (Section 2: "an alarm is a points-to path between
+a static field and an Activity object"). The refutation driver repeatedly
+asks for a path, tries to refute its edges, removes refuted edges, and asks
+again until the source and sink are disconnected or a fully witnessed path
+is found.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional
+
+from ..lang.types import ClassTable
+from .graph import AbsLoc, HeapEdge, PointsToGraph, StaticFieldNode
+
+
+def find_heap_path(
+    graph: PointsToGraph,
+    root: StaticFieldNode,
+    target: AbsLoc,
+    removed: Optional[set[HeapEdge]] = None,
+) -> Optional[list[HeapEdge]]:
+    """Shortest points-to path ``root ↪ ... ↪ target`` avoiding ``removed``
+    edges, or None when disconnected."""
+    removed = removed or set()
+    start_edges = [
+        HeapEdge(root, root.field, loc)
+        for loc in graph.pt_static(root.class_name, root.field)
+    ]
+    # BFS over abstract locations; parent pointers recover the edge list.
+    parents: dict[AbsLoc, HeapEdge] = {}
+    queue: deque[AbsLoc] = deque()
+    for edge in start_edges:
+        if edge in removed:
+            continue
+        if edge.dst not in parents:
+            parents[edge.dst] = edge
+            queue.append(edge.dst)
+    # Field successors indexed once per call.
+    while queue:
+        loc = queue.popleft()
+        if loc == target:
+            return _reconstruct(parents, loc)
+        for edge in _out_edges(graph, loc):
+            if edge in removed or edge.dst in parents:
+                continue
+            parents[edge.dst] = edge
+            queue.append(edge.dst)
+    return None
+
+
+def _out_edges(graph: PointsToGraph, loc: AbsLoc) -> Iterable[HeapEdge]:
+    from .graph import FieldNode
+
+    for node, targets in graph.pts.items():
+        if isinstance(node, FieldNode) and node.loc == loc:
+            for dst in targets:
+                yield HeapEdge(loc, node.field, dst)
+
+
+def _reconstruct(parents: dict[AbsLoc, HeapEdge], loc: AbsLoc) -> list[HeapEdge]:
+    path: list[HeapEdge] = []
+    current: Optional[AbsLoc] = loc
+    while current is not None:
+        edge = parents[current]
+        path.append(edge)
+        if edge.is_static_root:
+            break
+        current = edge.src  # type: ignore[assignment]
+    path.reverse()
+    return path
+
+
+def reaches(
+    graph: PointsToGraph,
+    root: StaticFieldNode,
+    target: AbsLoc,
+    removed: Optional[set[HeapEdge]] = None,
+) -> bool:
+    return find_heap_path(graph, root, target, removed) is not None
+
+
+def target_locations(
+    graph: PointsToGraph, class_table: ClassTable, target_class: str
+) -> list[AbsLoc]:
+    """All abstract locations whose class is ``target_class`` or a subclass."""
+    result = []
+    for loc in graph.all_abs_locs():
+        if loc.is_array or loc.site.kind == "string":
+            continue
+        if loc.class_name not in class_table.classes:
+            continue
+        if class_table.is_subclass(loc.class_name, target_class):
+            result.append(loc)
+    return sorted(result, key=str)
+
+
+def static_roots(graph: PointsToGraph) -> list[StaticFieldNode]:
+    roots = {
+        node
+        for node in graph.pts
+        if isinstance(node, StaticFieldNode) and graph.pts[node]
+    }
+    return sorted(roots, key=str)
+
+
+def find_alarms(
+    graph: PointsToGraph, class_table: ClassTable, target_class: str = "Activity"
+) -> list[tuple[StaticFieldNode, AbsLoc]]:
+    """All (static field, target location) pairs connected in the graph —
+    the flow-insensitive alarms the refuter will attempt to filter."""
+    alarms = []
+    targets = target_locations(graph, class_table, target_class)
+    for root in static_roots(graph):
+        for target in targets:
+            if reaches(graph, root, target):
+                alarms.append((root, target))
+    return alarms

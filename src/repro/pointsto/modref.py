@@ -1,0 +1,172 @@
+"""Mod/ref analysis: which heap locations may a method (or statement) write.
+
+The paper computes a mod/ref analysis alongside the points-to analysis and
+uses it in two places:
+
+* soundly *skipping* callees when the symbolic call stack exceeds its depth
+  bound — constraints the callee might produce are dropped;
+* the loop-invariant inference, which drops pure constraints (and bounds
+  memory constraints) that the loop body may modify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir import instructions as ins
+from ..ir.program import IRProgram
+from ..ir.stmts import Stmt, walk_commands
+from .andersen import CallGraph
+from .graph import ELEMS
+
+
+@dataclass
+class ModSet:
+    """An over-approximation of the memory a piece of code may write.
+
+    ``alloc_sites`` holds the allocation sites the code may execute
+    (transitively): skipping a callee must also drop query constraints on
+    instances the callee might *allocate*, otherwise those constraints
+    could be carried past their producing allocation and unsoundly refuted
+    at the program entry.
+    """
+
+    fields: set[str] = field(default_factory=set)  # instance fields (and @elems)
+    statics: set[tuple[str, str]] = field(default_factory=set)
+    locals: set[str] = field(default_factory=set)  # assigned locals (not transitive)
+    alloc_sites: set = field(default_factory=set)  # set[AllocSite]
+    calls_unknown: bool = False  # a call with no resolved target
+
+    def update(self, other: "ModSet", include_locals: bool = False) -> None:
+        self.fields |= other.fields
+        self.statics |= other.statics
+        self.alloc_sites |= other.alloc_sites
+        self.calls_unknown |= other.calls_unknown
+        if include_locals:
+            self.locals |= other.locals
+
+    def writes_field(self, name: str) -> bool:
+        return self.calls_unknown or name in self.fields
+
+    def writes_static(self, class_name: str, field_name: str) -> bool:
+        return self.calls_unknown or (class_name, field_name) in self.statics
+
+    def is_empty(self) -> bool:
+        return not self.fields and not self.statics and not self.calls_unknown
+
+
+class ModRefAnalysis:
+    """Transitive per-method mod summaries over the resolved call graph."""
+
+    def __init__(self, program: IRProgram, call_graph: CallGraph) -> None:
+        self.program = program
+        self.call_graph = call_graph
+        self._direct: dict[str, ModSet] = {}
+        self._summary: dict[str, ModSet] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        methods = self.call_graph.reachable_methods & set(self.program.methods)
+        for qname in methods:
+            self._direct[qname] = self._direct_mod(qname)
+            self._summary[qname] = ModSet()
+            self._summary[qname].update(self._direct[qname], include_locals=True)
+        # Fixpoint over the call graph (handles recursion and cycles).
+        changed = True
+        while changed:
+            changed = False
+            for qname in methods:
+                summary = self._summary[qname]
+                before = (
+                    len(summary.fields),
+                    len(summary.statics),
+                    len(summary.alloc_sites),
+                    summary.calls_unknown,
+                )
+                for cmd in walk_commands(self.program.methods[qname].body):
+                    if isinstance(cmd, ins.Invoke):
+                        for callee in self.call_graph.callees_of(cmd.label):
+                            callee_sum = self._summary.get(callee)
+                            if callee_sum is None:
+                                summary.calls_unknown = True
+                            else:
+                                summary.update(callee_sum)
+                after = (
+                    len(summary.fields),
+                    len(summary.statics),
+                    len(summary.alloc_sites),
+                    summary.calls_unknown,
+                )
+                if before != after:
+                    changed = True
+
+    def _direct_mod(self, qname: str) -> ModSet:
+        mod = ModSet()
+        method = self.program.methods.get(qname)
+        if method is None:
+            mod.calls_unknown = True
+            return mod
+        for cmd in walk_commands(method.body):
+            self._command_mod(cmd, mod, include_calls=False)
+        return mod
+
+    def _command_mod(self, cmd: ins.Command, mod: ModSet, include_calls: bool) -> None:
+        if isinstance(cmd, (ins.New, ins.NewArray)):
+            mod.alloc_sites.add(cmd.site)
+            mod.locals.add(cmd.lhs)
+        elif isinstance(cmd, ins.FieldWrite):
+            mod.fields.add(cmd.field_name)
+        elif isinstance(cmd, ins.ArrayWrite):
+            mod.fields.add(ELEMS)
+        elif isinstance(cmd, ins.StaticWrite):
+            mod.statics.add((cmd.class_name, cmd.field_name))
+        elif isinstance(
+            cmd,
+            (
+                ins.Assign,
+                ins.BinOpCmd,
+                ins.UnOpCmd,
+                ins.FieldRead,
+                ins.StaticRead,
+                ins.ArrayRead,
+                ins.ArrayLen,
+                ins.Nondet,
+                ins.CastCmd,
+                ins.InstanceOfCmd,
+            ),
+        ):
+            lhs = getattr(cmd, "lhs", None)
+            if lhs is not None:
+                mod.locals.add(lhs)
+        elif isinstance(cmd, ins.Invoke):
+            if cmd.lhs is not None:
+                mod.locals.add(cmd.lhs)
+            if include_calls:
+                targets = self.call_graph.callees_of(cmd.label)
+                if not targets:
+                    mod.calls_unknown = True
+                for callee in targets:
+                    summary = self._summary.get(callee)
+                    if summary is None:
+                        mod.calls_unknown = True
+                    else:
+                        mod.update(summary)
+
+    # -- public API ----------------------------------------------------------------
+
+    def method_mod(self, qname: str) -> ModSet:
+        """Transitive mod set of a method (callees included)."""
+        summary = self._summary.get(qname)
+        if summary is None:
+            unknown = ModSet()
+            unknown.calls_unknown = True
+            return unknown
+        return summary
+
+    def statement_mod(self, stmt: Stmt) -> ModSet:
+        """Mod set of one structured statement (e.g. a loop body), callees
+        included, plus the locals it assigns directly."""
+        mod = ModSet()
+        for cmd in walk_commands(stmt):
+            self._command_mod(cmd, mod, include_calls=True)
+        return mod

@@ -1,0 +1,70 @@
+"""May-complete-normally analysis.
+
+The paper "tracks control flow due to thrown exceptions" under the
+assumption that exceptions are never caught: a call to a method that can
+never complete normally makes every program point after the call
+unreachable. This module computes, per reachable method, whether *some*
+execution may fall out of the method normally — an over-approximation
+(greatest fixpoint, everything assumed completing until proven otherwise),
+so using it to refute is sound.
+"""
+
+from __future__ import annotations
+
+from ..ir import instructions as ins
+from ..ir.program import IRProgram
+from ..ir.stmts import AtomicStmt, Choice, Loop, Seq, Stmt
+from .andersen import CallGraph
+
+
+class NormalCompletion:
+    """``may_complete(qname)`` — False only when every execution of the
+    method provably throws."""
+
+    def __init__(self, program: IRProgram, call_graph: CallGraph) -> None:
+        self.program = program
+        self.call_graph = call_graph
+        self._may_complete: dict[str, bool] = {}
+        self._compute()
+
+    def may_complete(self, qname: str) -> bool:
+        return self._may_complete.get(qname, True)
+
+    def call_may_complete(self, label: int) -> bool:
+        """May the call at ``label`` return normally? True when any
+        possible callee may complete (or when no callee is resolved)."""
+        callees = self.call_graph.callees_of(label)
+        if not callees:
+            return True
+        return any(self.may_complete(callee) for callee in callees)
+
+    def _compute(self) -> None:
+        methods = self.call_graph.reachable_methods & set(self.program.methods)
+        for qname in methods:
+            self._may_complete[qname] = True
+        changed = True
+        while changed:
+            changed = False
+            for qname in methods:
+                if not self._may_complete[qname]:
+                    continue
+                body = self.program.methods[qname].body
+                if not self._falls_through(body):
+                    self._may_complete[qname] = False
+                    changed = True
+
+    def _falls_through(self, stmt: Stmt) -> bool:
+        if isinstance(stmt, AtomicStmt):
+            cmd = stmt.cmd
+            if isinstance(cmd, ins.ThrowCmd):
+                return False
+            if isinstance(cmd, ins.Invoke):
+                return self.call_may_complete(cmd.label)
+            return True
+        if isinstance(stmt, Seq):
+            return all(self._falls_through(child) for child in stmt.stmts)
+        if isinstance(stmt, Choice):
+            return any(self._falls_through(branch) for branch in stmt.branches)
+        if isinstance(stmt, Loop):
+            return True  # zero iterations always complete
+        raise TypeError(f"unknown statement {type(stmt).__name__}")

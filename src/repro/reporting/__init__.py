@@ -1,0 +1,19 @@
+"""Evaluation-table renderers (Table 1 and Table 2 of the paper)."""
+
+from .tables import (
+    Table1Row,
+    Table2Row,
+    render_table1,
+    render_table2,
+    table1_row,
+    table2_row,
+)
+
+__all__ = [
+    "Table1Row",
+    "Table2Row",
+    "render_table1",
+    "render_table2",
+    "table1_row",
+    "table2_row",
+]

@@ -1,0 +1,212 @@
+"""Renderers for the paper's evaluation tables.
+
+``table1_row`` runs the full pipeline (points-to → alarms → refutation)
+for one app/configuration and assembles the columns of Table 1;
+``render_table1`` prints them in the paper's layout. ``table2_row`` runs
+the mixed vs fully-symbolic representation comparison of Table 2.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..android.leaks import LeakChecker, LeakReport
+from ..bench.apps import BenchApp
+from ..bench.workloads import concrete_leak_pairs
+from ..symbolic import Representation, SearchConfig
+
+
+@dataclass
+class Table1Row:
+    app: str
+    annotated: bool
+    sloc: int
+    cg_commands: int  # stand-in for the paper's CGB (bytecodes in call graph)
+    alarms: int
+    refuted_alarms: int
+    true_alarms: int
+    false_alarms: int
+    fields: int
+    refuted_fields: int
+    edges_refuted: int
+    edges_witnessed: int
+    edge_timeouts: int
+    seconds: float
+    unsound_refutations: int  # must always be 0
+
+    @property
+    def ann_label(self) -> str:
+        return "Y" if self.annotated else "N"
+
+    def pct(self, value: int) -> int:
+        return round(100 * value / self.alarms) if self.alarms else 0
+
+
+def table1_row(
+    app: BenchApp,
+    annotated: bool,
+    config: Optional[SearchConfig] = None,
+) -> tuple[Table1Row, LeakReport]:
+    truth_pairs = concrete_leak_pairs(app)
+    checker = LeakChecker(app.source, app.name, annotated=annotated, config=config)
+    report = checker.run()
+
+    def is_true(alarm) -> bool:
+        key = ((alarm.root.class_name, alarm.root.field), alarm.target.site)
+        return key in truth_pairs
+
+    true_alarms = sum(1 for a in report.alarms if is_true(a))
+    unsound = sum(1 for a in report.alarms if a.refuted and is_true(a))
+    row = Table1Row(
+        app=app.name,
+        annotated=annotated,
+        sloc=len([l for l in app.source.splitlines() if l.strip()]),
+        cg_commands=report.call_graph_commands,
+        alarms=report.num_alarms,
+        refuted_alarms=report.refuted_alarms,
+        true_alarms=true_alarms,
+        false_alarms=report.num_alarms - report.refuted_alarms - true_alarms,
+        fields=report.fields,
+        refuted_fields=report.refuted_fields,
+        edges_refuted=report.edges_refuted,
+        edges_witnessed=report.edges_witnessed,
+        edge_timeouts=report.edge_timeouts,
+        seconds=report.seconds,
+        unsound_refutations=unsound,
+    )
+    return row, report
+
+
+_T1_HEADER = (
+    f"{'Benchmark':14s} {'SLOC':>5s} {'CGC':>6s} {'Ann?':>4s} {'Alrms':>5s}"
+    f" {'RefA(%)':>9s} {'TruA(%)':>9s} {'FalA(%)':>9s} {'Flds':>4s}"
+    f" {'RefFlds':>7s} {'RefEdg':>6s} {'WitEdg':>6s} {'TO':>3s} {'T(s)':>7s}"
+)
+
+
+def render_table1(rows: list[Table1Row]) -> str:
+    lines = [
+        "Table 1: Filtering effectiveness and computational effort",
+        _T1_HEADER,
+        "-" * len(_T1_HEADER),
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.app:14s} {row.sloc:5d} {row.cg_commands:6d} {row.ann_label:>4s}"
+            f" {row.alarms:5d}"
+            f" {row.refuted_alarms:4d}({row.pct(row.refuted_alarms):3d})"
+            f" {row.true_alarms:4d}({row.pct(row.true_alarms):3d})"
+            f" {row.false_alarms:4d}({row.pct(row.false_alarms):3d})"
+            f" {row.fields:4d} {row.refuted_fields:7d} {row.edges_refuted:6d}"
+            f" {row.edges_witnessed:6d} {row.edge_timeouts:3d} {row.seconds:7.2f}"
+        )
+    totals = _totals(rows)
+    lines.append("-" * len(_T1_HEADER))
+    for ann in ("N", "Y"):
+        sub = [r for r in rows if r.ann_label == ann]
+        if not sub:
+            continue
+        t = _totals(sub)
+        lines.append(
+            f"{'Total':14s} {t.sloc:5d} {t.cg_commands:6d} {ann:>4s} {t.alarms:5d}"
+            f" {t.refuted_alarms:4d}({t.pct(t.refuted_alarms):3d})"
+            f" {t.true_alarms:4d}({t.pct(t.true_alarms):3d})"
+            f" {t.false_alarms:4d}({t.pct(t.false_alarms):3d})"
+            f" {t.fields:4d} {t.refuted_fields:7d} {t.edges_refuted:6d}"
+            f" {t.edges_witnessed:6d} {t.edge_timeouts:3d} {t.seconds:7.2f}"
+        )
+    del totals
+    return "\n".join(lines)
+
+
+def _totals(rows: list[Table1Row]) -> Table1Row:
+    return Table1Row(
+        app="Total",
+        annotated=rows[0].annotated if rows else False,
+        sloc=sum(r.sloc for r in rows),
+        cg_commands=sum(r.cg_commands for r in rows),
+        alarms=sum(r.alarms for r in rows),
+        refuted_alarms=sum(r.refuted_alarms for r in rows),
+        true_alarms=sum(r.true_alarms for r in rows),
+        false_alarms=sum(r.false_alarms for r in rows),
+        fields=sum(r.fields for r in rows),
+        refuted_fields=sum(r.refuted_fields for r in rows),
+        edges_refuted=sum(r.edges_refuted for r in rows),
+        edges_witnessed=sum(r.edges_witnessed for r in rows),
+        edge_timeouts=sum(r.edge_timeouts for r in rows),
+        seconds=sum(r.seconds for r in rows),
+        unsound_refutations=sum(r.unsound_refutations for r in rows),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 2: fully-symbolic vs mixed representation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table2Row:
+    app: str
+    annotated: bool
+    mixed_seconds: float
+    symbolic_seconds: float
+    mixed_timeouts: int
+    symbolic_timeouts: int
+    mixed_refuted_alarms: int
+    symbolic_refuted_alarms: int
+
+    @property
+    def slowdown(self) -> float:
+        if self.mixed_seconds <= 0:
+            return 1.0
+        return self.symbolic_seconds / self.mixed_seconds
+
+    @property
+    def timeout_delta(self) -> int:
+        return self.symbolic_timeouts - self.mixed_timeouts
+
+
+def table2_row(
+    app: BenchApp,
+    annotated: bool = False,
+    config: Optional[SearchConfig] = None,
+) -> Table2Row:
+    base = config or SearchConfig()
+    mixed_cfg = base.copy(representation=Representation.MIXED)
+    symbolic_cfg = base.copy(representation=Representation.FULLY_SYMBOLIC)
+    mixed = LeakChecker(app.source, app.name, annotated, mixed_cfg).run()
+    symbolic = LeakChecker(app.source, app.name, annotated, symbolic_cfg).run()
+    return Table2Row(
+        app=app.name,
+        annotated=annotated,
+        mixed_seconds=mixed.seconds,
+        symbolic_seconds=symbolic.seconds,
+        mixed_timeouts=mixed.edge_timeouts,
+        symbolic_timeouts=symbolic.edge_timeouts,
+        mixed_refuted_alarms=mixed.refuted_alarms,
+        symbolic_refuted_alarms=symbolic.refuted_alarms,
+    )
+
+
+def render_table2(rows: list[Table2Row]) -> str:
+    header = (
+        f"{'Benchmark':14s} {'Ann?':>4s} {'T-mixed':>8s} {'T-symb':>8s}"
+        f" {'slowdown':>9s} {'TO-mixed':>8s} {'TO-symb':>8s} {'TO(Δ)':>6s}"
+        f" {'RefA-mix':>8s} {'RefA-sym':>8s}"
+    )
+    lines = [
+        "Table 2: fully-symbolic representation vs mixed symbolic-explicit",
+        header,
+        "-" * len(header),
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.app:14s} {'Y' if row.annotated else 'N':>4s}"
+            f" {row.mixed_seconds:8.2f} {row.symbolic_seconds:8.2f}"
+            f" {row.slowdown:8.1f}X {row.mixed_timeouts:8d}"
+            f" {row.symbolic_timeouts:8d} {row.timeout_delta:+6d}"
+            f" {row.mixed_refuted_alarms:8d} {row.symbolic_refuted_alarms:8d}"
+        )
+    return "\n".join(lines)

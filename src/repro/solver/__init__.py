@@ -1,0 +1,41 @@
+"""Pure-constraint decision procedure (the offline stand-in for Z3)."""
+
+from .core import FM_ATOM_BUDGET, GLOBAL_STATS, SolverStats, check_sat, entails
+from .terms import (
+    NULL,
+    Atom,
+    LinAtom,
+    LinExpr,
+    RefAtom,
+    Var,
+    eq,
+    le,
+    lt,
+    ne,
+    ref_eq,
+    ref_ne,
+    tighten,
+)
+from .unionfind import UnionFind
+
+__all__ = [
+    "FM_ATOM_BUDGET",
+    "GLOBAL_STATS",
+    "SolverStats",
+    "check_sat",
+    "entails",
+    "NULL",
+    "Atom",
+    "LinAtom",
+    "LinExpr",
+    "RefAtom",
+    "Var",
+    "eq",
+    "le",
+    "lt",
+    "ne",
+    "ref_eq",
+    "ref_ne",
+    "tighten",
+    "UnionFind",
+]

@@ -1,0 +1,232 @@
+"""Decision procedure for the analysis's pure-constraint fragment.
+
+Satisfiability of a conjunction of :class:`~repro.solver.terms.Atom` is
+decided by:
+
+1. congruence over reference (dis)equalities via union-find, with the
+   ``NULL`` constant and caller-supplied non-null facts;
+2. Gaussian elimination of linear equalities with a unit-coefficient
+   variable;
+3. Fourier–Motzkin elimination with integer tightening for the remaining
+   ``≤`` atoms;
+4. a completeness pass for ``≠`` atoms: a disequality fails only when the
+   ``≤`` system *forces* the difference to zero.
+
+The procedure is sound in both directions on this fragment, except that it
+conservatively reports SAT when the FM elimination exceeds its size budget
+— which preserves refutation soundness (Theorem 1): the analysis only
+*refutes* on UNSAT.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .terms import NULL, Atom, LinAtom, LinExpr, RefAtom, Var, _NullConst, tighten
+from .unionfind import UnionFind
+
+# Beyond this many ≤-atoms during elimination we give up and report SAT.
+FM_ATOM_BUDGET = 400
+
+
+class SolverStats:
+    """Cumulative counters, handy in the evaluation harness."""
+
+    def __init__(self) -> None:
+        self.checks = 0
+        self.unsat = 0
+        self.fm_giveups = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SolverStats(checks={self.checks}, unsat={self.unsat},"
+            f" giveups={self.fm_giveups})"
+        )
+
+
+GLOBAL_STATS = SolverStats()
+
+
+def check_sat(
+    atoms: Iterable[Atom],
+    nonnull: Optional[frozenset[Var]] = None,
+    stats: Optional[SolverStats] = None,
+) -> bool:
+    """True if the conjunction may be satisfiable, False if definitely not.
+
+    ``nonnull`` lists instance variables known to denote real objects
+    (e.g. instances that appear as the source of an exact points-to
+    constraint); equating one of those with NULL is a contradiction.
+    """
+    stats = stats or GLOBAL_STATS
+    stats.checks += 1
+    atoms = list(atoms)
+    nonnull = nonnull or frozenset()
+
+    ref_atoms = [a for a in atoms if isinstance(a, RefAtom)]
+    lin_atoms = [a for a in atoms if isinstance(a, LinAtom)]
+
+    if not _check_refs(ref_atoms, nonnull):
+        stats.unsat += 1
+        return False
+
+    if not _check_linear(lin_atoms, stats):
+        stats.unsat += 1
+        return False
+    return True
+
+
+def entails(stronger: Iterable[Atom], weaker: Iterable[Atom]) -> bool:
+    """Conservative syntactic entailment: every atom of ``weaker`` appears
+    in ``stronger`` (after normalization). Used by query subsumption, where
+    a miss only costs re-exploration, never soundness."""
+    have = {_normalize(a) for a in stronger}
+    return all(_normalize(a) in have for a in weaker)
+
+
+def _normalize(atom: Atom) -> Atom:
+    if isinstance(atom, RefAtom):
+        return atom.normalized()
+    return atom
+
+
+# ---------------------------------------------------------------------------
+# References
+# ---------------------------------------------------------------------------
+
+
+def _check_refs(ref_atoms: list[RefAtom], nonnull: frozenset[Var]) -> bool:
+    uf = UnionFind()
+    for atom in ref_atoms:
+        if atom.equal:
+            uf.union(atom.left, atom.right)
+    null_root = uf.find(NULL)
+    for var in nonnull:
+        if uf.find(var) == null_root and null_root == uf.find(var):
+            # var == NULL forced, but var must be a real object.
+            if uf.find(var) == uf.find(NULL):
+                return False
+    for atom in ref_atoms:
+        if not atom.equal and uf.same(atom.left, atom.right):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Linear integer arithmetic
+# ---------------------------------------------------------------------------
+
+
+def _check_linear(lin_atoms: list[LinAtom], stats: SolverStats) -> bool:
+    les: list[LinExpr] = []  # each meaning expr <= 0
+    nes: list[LinExpr] = []  # each meaning expr != 0
+    eqs: list[LinExpr] = []  # each meaning expr == 0
+    for atom in lin_atoms:
+        if atom.op == "<=":
+            les.append(atom.expr)
+        elif atom.op == "==":
+            eqs.append(atom.expr)
+        else:
+            nes.append(atom.expr)
+
+    subst_eqs, les = _eliminate_equalities(eqs, les, nes)
+    if subst_eqs is None:
+        return False
+
+    if not _fm_feasible(les, stats):
+        return False
+
+    for expr in nes:
+        if expr.is_constant:
+            if expr.const == 0:
+                return False
+            continue
+        # expr != 0 fails only if the system forces expr == 0, i.e. both
+        # expr <= -1 and -expr <= -1 are infeasible with the system.
+        pos = les + [expr.add(LinExpr.constant(1))]  # expr + 1 <= 0, expr <= -1
+        neg = les + [expr.scale(-1).add(LinExpr.constant(1))]  # expr >= 1
+        if not _fm_feasible(pos, stats) and not _fm_feasible(neg, stats):
+            return False
+    return True
+
+
+def _eliminate_equalities(
+    eqs: list[LinExpr], les: list[LinExpr], nes: list[LinExpr]
+) -> tuple[Optional[dict], list[LinExpr]]:
+    """Substitute away equalities with a ±1-coefficient variable; the rest
+    become inequality pairs. Mutates ``nes`` in place with substitutions.
+    Returns (marker dict or None on contradiction, new les)."""
+    pending = list(eqs)
+    while pending:
+        expr = pending.pop()
+        if expr.is_constant:
+            if expr.const != 0:
+                return None, les
+            continue
+        unit_var = None
+        unit_coeff = 0
+        for v, c in expr.coeffs:
+            if c in (1, -1):
+                unit_var = v
+                unit_coeff = c
+                break
+        if unit_var is None:
+            # No unit coefficient: keep as two inequalities.
+            les.append(expr)
+            les.append(expr.scale(-1))
+            continue
+        # unit_coeff * v = -(expr - unit_coeff*v)  =>  v = replacement
+        rest = expr.sub(LinExpr.of({unit_var: unit_coeff}))
+        replacement = rest.scale(-unit_coeff)
+
+        def subst(target: LinExpr) -> LinExpr:
+            coeff = target.as_dict().get(unit_var, 0)
+            if coeff == 0:
+                return target
+            return target.sub(LinExpr.of({unit_var: coeff})).add(
+                replacement.scale(coeff)
+            )
+
+        pending = [subst(e) for e in pending]
+        les = [subst(e) for e in les]
+        nes[:] = [subst(e) for e in nes]
+    return {}, les
+
+
+def _fm_feasible(les: list[LinExpr], stats: SolverStats) -> bool:
+    """Fourier–Motzkin with integer tightening over atoms ``expr <= 0``."""
+    system = [tighten(e) for e in les]
+    while True:
+        constants = [e for e in system if e.is_constant]
+        if any(e.const > 0 for e in constants):
+            return False
+        system = [e for e in system if not e.is_constant]
+        if not system:
+            return True
+        if len(system) > FM_ATOM_BUDGET:
+            stats.fm_giveups += 1
+            return True  # give up: conservatively satisfiable
+        # Pick the variable with the fewest pos*neg combinations.
+        occurrences: dict[Var, tuple[int, int]] = {}
+        for expr in system:
+            for v, c in expr.coeffs:
+                pos, neg = occurrences.get(v, (0, 0))
+                if c > 0:
+                    occurrences[v] = (pos + 1, neg)
+                else:
+                    occurrences[v] = (pos, neg + 1)
+        var = min(
+            occurrences,
+            key=lambda v: (occurrences[v][0] * occurrences[v][1], repr(v)),
+        )
+        pos_exprs = [e for e in system if e.as_dict().get(var, 0) > 0]
+        neg_exprs = [e for e in system if e.as_dict().get(var, 0) < 0]
+        others = [e for e in system if e.as_dict().get(var, 0) == 0]
+        combined: list[LinExpr] = []
+        for p in pos_exprs:
+            cp = p.as_dict()[var]
+            for n in neg_exprs:
+                cn = -n.as_dict()[var]
+                # cn*p + cp*n eliminates var.
+                combined.append(tighten(p.scale(cn).add(n.scale(cp))))
+        system = others + combined

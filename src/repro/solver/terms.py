@@ -1,0 +1,209 @@
+"""Term language of the pure-constraint solver.
+
+The witness-refutation analysis emits only conjunctions of:
+
+* linear integer atoms  ``Σ cᵢ·xᵢ + k  (≤ | = | ≠)  0``  over *data*
+  symbolic variables (booleans are encoded as 0/1 integers), and
+* reference (dis)equalities between *instance* symbolic variables and the
+  distinguished ``NULL`` constant.
+
+The paper discharges these with Z3; we decide the same fragment with a
+from-scratch procedure (:mod:`repro.solver.core`). Variables are arbitrary
+hashable objects so the solver does not depend on the symbolic layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from typing import Hashable, Iterable, Mapping, Union
+
+Var = Hashable
+
+
+class _NullConst:
+    """The distinguished null reference constant."""
+
+    _instance = None
+
+    def __new__(cls) -> "_NullConst":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+
+NULL = _NullConst()
+
+
+@dataclass(frozen=True)
+class LinExpr:
+    """Σ cᵢ·xᵢ + k with integer coefficients, in canonical form (no zero
+    coefficients; terms sorted by repr for deterministic hashing)."""
+
+    coeffs: tuple[tuple[Var, int], ...]
+    const: int = 0
+
+    @staticmethod
+    def of(terms: Mapping[Var, int], const: int = 0) -> "LinExpr":
+        clean = tuple(
+            sorted(
+                ((v, c) for v, c in terms.items() if c != 0),
+                key=lambda item: repr(item[0]),
+            )
+        )
+        return LinExpr(clean, const)
+
+    @staticmethod
+    def var(v: Var) -> "LinExpr":
+        return LinExpr.of({v: 1})
+
+    @staticmethod
+    def constant(k: int) -> "LinExpr":
+        return LinExpr((), k)
+
+    def as_dict(self) -> dict[Var, int]:
+        return dict(self.coeffs)
+
+    def add(self, other: "LinExpr") -> "LinExpr":
+        terms = self.as_dict()
+        for v, c in other.coeffs:
+            terms[v] = terms.get(v, 0) + c
+        return LinExpr.of(terms, self.const + other.const)
+
+    def sub(self, other: "LinExpr") -> "LinExpr":
+        return self.add(other.scale(-1))
+
+    def scale(self, factor: int) -> "LinExpr":
+        return LinExpr.of({v: c * factor for v, c in self.coeffs}, self.const * factor)
+
+    def rename(self, mapping: Mapping[Var, Var]) -> "LinExpr":
+        terms: dict[Var, int] = {}
+        for v, c in self.coeffs:
+            v2 = mapping.get(v, v)
+            terms[v2] = terms.get(v2, 0) + c
+        return LinExpr.of(terms, self.const)
+
+    def vars(self) -> frozenset[Var]:
+        return frozenset(v for v, _ in self.coeffs)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def __str__(self) -> str:
+        parts = []
+        for v, c in self.coeffs:
+            if c == 1:
+                parts.append(f"{v}")
+            elif c == -1:
+                parts.append(f"-{v}")
+            else:
+                parts.append(f"{c}*{v}")
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts).replace("+ -", "- ")
+
+
+@dataclass(frozen=True)
+class LinAtom:
+    """``expr op 0`` with op ∈ {"<=", "==", "!="} over the integers.
+
+    Strict inequalities are normalized away at construction (``a < b`` over
+    the integers is ``a - b + 1 ≤ 0``).
+    """
+
+    op: str
+    expr: LinExpr
+
+    def __post_init__(self) -> None:
+        if self.op not in ("<=", "==", "!="):
+            raise ValueError(f"bad linear op {self.op!r}")
+
+    def rename(self, mapping: Mapping[Var, Var]) -> "LinAtom":
+        return LinAtom(self.op, self.expr.rename(mapping))
+
+    def vars(self) -> frozenset[Var]:
+        return self.expr.vars()
+
+    def __str__(self) -> str:
+        return f"{self.expr} {self.op} 0"
+
+
+@dataclass(frozen=True)
+class RefAtom:
+    """Reference (dis)equality between two instances (or NULL)."""
+
+    equal: bool
+    left: Union[Var, _NullConst]
+    right: Union[Var, _NullConst]
+
+    def rename(self, mapping: Mapping[Var, Var]) -> "RefAtom":
+        left = mapping.get(self.left, self.left)
+        right = mapping.get(self.right, self.right)
+        return RefAtom(self.equal, left, right)
+
+    def normalized(self) -> "RefAtom":
+        a, b = self.left, self.right
+        if repr(a) > repr(b):
+            a, b = b, a
+        return RefAtom(self.equal, a, b)
+
+    def vars(self) -> frozenset[Var]:
+        out = set()
+        for side in (self.left, self.right):
+            if not isinstance(side, _NullConst):
+                out.add(side)
+        return frozenset(out)
+
+    def __str__(self) -> str:
+        op = "==" if self.equal else "!="
+        return f"{self.left} {op} {self.right}"
+
+
+Atom = Union[LinAtom, RefAtom]
+
+
+# -- convenience constructors used by the symbolic transfer functions ----------
+
+
+def le(lhs: LinExpr, rhs: LinExpr) -> LinAtom:
+    return LinAtom("<=", lhs.sub(rhs))
+
+
+def lt(lhs: LinExpr, rhs: LinExpr) -> LinAtom:
+    return LinAtom("<=", lhs.sub(rhs).add(LinExpr.constant(1)))
+
+
+def eq(lhs: LinExpr, rhs: LinExpr) -> LinAtom:
+    return LinAtom("==", lhs.sub(rhs))
+
+
+def ne(lhs: LinExpr, rhs: LinExpr) -> LinAtom:
+    return LinAtom("!=", lhs.sub(rhs))
+
+
+def ref_eq(a: Union[Var, _NullConst], b: Union[Var, _NullConst]) -> RefAtom:
+    return RefAtom(True, a, b).normalized()
+
+
+def ref_ne(a: Union[Var, _NullConst], b: Union[Var, _NullConst]) -> RefAtom:
+    return RefAtom(False, a, b).normalized()
+
+
+def tighten(expr: LinExpr) -> LinExpr:
+    """Integer tightening: divide through by the gcd of the coefficients,
+    rounding the constant of a ≤-atom toward the feasible side."""
+    if not expr.coeffs:
+        return expr
+    g = 0
+    for _, c in expr.coeffs:
+        g = gcd(g, abs(c))
+    if g <= 1:
+        return expr
+    new_coeffs = {v: c // g for v, c in expr.coeffs}
+    # Σ c'x ≤ -k/g  and the LHS is an integer, so Σ c'x ≤ floor(-k/g).
+    bound = (-expr.const) // g
+    return LinExpr.of(new_coeffs, -bound)

@@ -1,0 +1,36 @@
+"""A small union-find with path compression, keyed by hashable objects."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+
+class UnionFind:
+    def __init__(self) -> None:
+        self._parent: dict[Hashable, Hashable] = {}
+
+    def find(self, item: Hashable) -> Hashable:
+        parent = self._parent.get(item, item)
+        if parent == item:
+            return item
+        root = self.find(parent)
+        self._parent[item] = root
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> Hashable:
+        """Merge the classes of ``a`` and ``b``; returns the new root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+        return rb
+
+    def same(self, a: Hashable, b: Hashable) -> bool:
+        return self.find(a) == self.find(b)
+
+    def items(self) -> Iterator[Hashable]:
+        return iter(self._parent)
+
+    def copy(self) -> "UnionFind":
+        fresh = UnionFind()
+        fresh._parent = dict(self._parent)
+        return fresh

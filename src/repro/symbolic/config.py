@@ -1,0 +1,65 @@
+"""Configuration of the witness-refutation search.
+
+The defaults mirror the paper's experimental setup (Section 4):
+
+* an exploration budget of path programs per edge (the paper used 10,000);
+* callees skipped soundly beyond call-stack depth 3 via mod/ref dropping;
+* the path-constraint set limited to at most two constraints;
+* a materialization bound of one instance per abstract location during
+  loop-invariant inference.
+
+``Representation`` selects between the three state representations that the
+paper compares (Table 2 and the Section 4 ablations).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Representation(enum.Enum):
+    #: The paper's contribution: symbolic variables carry ``from`` instance
+    #: constraints (points-to regions), narrowed as values flow backwards.
+    MIXED = "mixed"
+    #: PSE-style: points-to facts are used only for alias checks at field
+    #: writes and allocation-site checks at ``new``; no region narrowing.
+    FULLY_SYMBOLIC = "fully-symbolic"
+    #: Symbolic variables are case-split over their points-to sets so every
+    #: instance names a single abstract location.
+    FULLY_EXPLICIT = "fully-explicit"
+
+
+class LoopInference(enum.Enum):
+    #: Fixpoint over points-to constraints, dropping only the pure
+    #: constraints the loop may modify (Section 3.3).
+    FULL = "full"
+    #: The ablation baseline: drop *every* possibly-affected constraint at
+    #: any loop.
+    DROP_ALL = "drop-all"
+
+
+@dataclass
+class SearchConfig:
+    representation: Representation = Representation.MIXED
+    #: Path-program budget per edge; exceeded => timeout (edge not refuted).
+    path_budget: int = 10_000
+    #: Callees beyond this symbolic call-stack depth are skipped soundly.
+    max_call_depth: int = 3
+    #: Maximum number of path (guard) constraints kept in a query.
+    max_path_constraints: int = 2
+    #: Loop-invariant inference materialization bound per abstract location.
+    materialization_bound: int = 1
+    #: Maximum body passes per loop saturation before aggressive weakening.
+    max_loop_passes: int = 10
+    #: Query-history subsumption at loop heads and procedure boundaries.
+    simplify_queries: bool = True
+    loop_inference: LoopInference = LoopInference.FULL
+    #: Upper bound on disjuncts produced by one array-write case split
+    #: before falling back to dropping disaliasing constraints.
+    max_array_case_splits: int = 2
+
+    def copy(self, **overrides) -> "SearchConfig":
+        from dataclasses import replace
+
+        return replace(self, **overrides)

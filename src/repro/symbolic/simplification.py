@@ -1,0 +1,163 @@
+"""Query simplification: subsumption joins and query histories.
+
+Section 3.3 of the paper: the refutation state ``Q1 ∨ Q2`` can be replaced
+by ``Q2`` whenever ``Q1 ⊨ Q2`` — a refutation of the weaker query refutes
+the stronger one, so exploring the stronger one is redundant. The
+implementation keeps a *query history* at procedure boundaries and loop
+heads and drops any query entailed-into a previously seen weaker query.
+
+Entailment between queries is checked structurally: an injective matching
+of the weaker query's memory constraints into the stronger one's, under
+which regions must shrink (``(v from r1) ⊨ (v from r2) iff r1 ⊆ r2``,
+Equation § in the paper) and pure atoms must be syntactically present.
+A failed match only costs re-exploration, never soundness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..solver import Atom
+from .query import Query
+from .symvar import SymVar
+
+
+def query_entails(strong: Query, weak: Query) -> bool:
+    """Conservative check that ``strong ⊨ weak``."""
+    if strong.failed:
+        return True
+    if weak.failed:
+        return False
+    if strong.stack_signature() != weak.stack_signature():
+        return False
+    frame_map = _frame_map(weak, strong)
+    mapping: dict[SymVar, SymVar] = {}
+
+    def match(wv: SymVar, sv: SymVar) -> bool:
+        wr, sr = weak.find(wv), strong.find(sv)
+        if wr in mapping:
+            return mapping[wr] is sr
+        if wr.kind != sr.kind:
+            return False
+        mapping[wr] = sr
+        return True
+
+    # Every memory constraint of the weak query must exist in the strong one.
+    for (frame, var), wv in weak.locals.items():
+        sframe = frame_map.get(frame)
+        if sframe is None:
+            return False
+        sv = strong.locals.get((sframe, var))
+        if sv is None or not match(wv, sv):
+            return False
+    for key, wv in weak.statics.items():
+        sv = strong.statics.get(key)
+        if sv is None or not match(wv, sv):
+            return False
+    # Field cells: resolve bases as the mapping grows.
+    pending = list(weak.field_cells.items())
+    progress = True
+    while pending and progress:
+        progress = False
+        remaining = []
+        for (base, field_name), wv in pending:
+            broot = weak.find(base)
+            if broot not in mapping:
+                remaining.append(((base, field_name), wv))
+                continue
+            sv = strong.field_cells.get((mapping[broot], field_name))
+            if sv is None or not match(wv, sv):
+                return False
+            progress = True
+        pending = remaining
+    if pending:
+        return False
+    # Array cells: greedy matching.
+    used: set[int] = set()
+    for cell in weak.array_cells:
+        broot = weak.find(cell.base)
+        if broot not in mapping:
+            return False
+        found = False
+        for i, scell in enumerate(strong.array_cells):
+            if i in used or strong.find(scell.base) is not mapping[broot]:
+                continue
+            snapshot = dict(mapping)
+            if match(cell.index, scell.index) and match(cell.value, scell.value):
+                used.add(i)
+                found = True
+                break
+            mapping.clear()
+            mapping.update(snapshot)
+        if not found:
+            return False
+    # Instance constraints: strong regions must be subsets (Equation §).
+    for wroot, sroot in mapping.items():
+        wregion = weak.regions.get(wroot)
+        if wregion is None:
+            continue  # weak is unconstrained: anything entails it
+        sregion = strong.regions.get(sroot)
+        if sregion is None or not sregion <= wregion:
+            return False
+        # Null-ness: weak claims nonnull => strong must too.
+        if wroot not in weak.maybe_null and sroot in strong.maybe_null:
+            return False
+    # Pure constraints: syntactic inclusion after renaming. Variables that
+    # appear only in pure atoms (not anchored in memory) default to the
+    # identity mapping — forked queries share SymVar objects, so a
+    # free-floating variable denotes the same existential in both.
+    strong_atoms = {_norm(a) for a in strong.canonical_pure()}
+    for atom in weak.canonical_pure():
+        rename: dict[SymVar, SymVar] = {}
+        for v in atom.vars():
+            if not isinstance(v, SymVar):
+                continue
+            wroot = weak.find(v)
+            rename[wroot] = mapping.get(wroot, strong.find(wroot))
+        renamed = atom.rename(rename)
+        if _norm(renamed) not in strong_atoms:
+            return False
+    return True
+
+
+def _norm(atom: Atom):
+    from ..solver.terms import RefAtom
+
+    if isinstance(atom, RefAtom):
+        return atom.normalized()
+    return atom
+
+
+def _frame_map(weak: Query, strong: Query) -> dict[int, int]:
+    """Positional frame-id correspondence (same stack signature assumed)."""
+    wframes = [weak.current_frame] + [f.frame_id for f in reversed(weak.stack)]
+    sframes = [strong.current_frame] + [f.frame_id for f in reversed(strong.stack)]
+    return dict(zip(wframes, sframes))
+
+
+class QueryHistory:
+    """Per-program-point histories with subsumption-based dropping."""
+
+    def __init__(self, enabled: bool = True, max_per_point: int = 64) -> None:
+        self.enabled = enabled
+        self.max_per_point = max_per_point
+        self._seen: dict[tuple, list[Query]] = {}
+        self.drops = 0
+
+    def should_drop(self, point_key: tuple, query: Query) -> bool:
+        """True if an already-explored weaker query subsumes this one.
+        Otherwise records the query for future checks."""
+        if not self.enabled:
+            return False
+        key = (point_key, query.stack_signature())
+        history = self._seen.setdefault(key, [])
+        for old in history:
+            if query_entails(query, old):
+                self.drops += 1
+                return True
+        if len(history) < self.max_per_point:
+            history.append(query.copy())
+        return False
+
+    def clear(self) -> None:
+        self._seen.clear()

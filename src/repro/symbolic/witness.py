@@ -1,0 +1,49 @@
+"""Human-readable path program witnesses.
+
+The paper emphasizes that even *refuted* path programs are useful triage
+artifacts (the StandupTimer "latent leak" was found by reading one). This
+module renders the label traces the executor records into source-anchored
+path program listings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.program import IRProgram
+from .stats import EdgeResult
+
+
+@dataclass
+class WitnessStep:
+    label: int
+    method: str
+    text: str
+    line: int
+
+
+def witness_steps(program: IRProgram, trace: list[int]) -> list[WitnessStep]:
+    steps = []
+    for label in trace:
+        cmd = program.commands.get(label)
+        if cmd is None:
+            continue
+        method = program.command_method.get(label, "?")
+        steps.append(WitnessStep(label, method, str(cmd), cmd.pos.line))
+    return steps
+
+
+def render_witness(program: IRProgram, result: EdgeResult) -> str:
+    """A printable path program witness for a witnessed edge."""
+    header = f"witness for {result.edge} [{result.status}]"
+    if not result.witness_trace:
+        return header + "\n  (no trace recorded)"
+    lines = [header]
+    last_method = None
+    for step in witness_steps(program, result.witness_trace):
+        if step.method != last_method:
+            lines.append(f"  in {step.method}:")
+            last_method = step.method
+        where = f"L{step.line}" if step.line else f"#{step.label}"
+        lines.append(f"    {where}: {step.text}")
+    return "\n".join(lines)

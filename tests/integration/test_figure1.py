@@ -1,0 +1,180 @@
+"""Integration test: the paper's Figure 1 running example.
+
+The `Vec` class uses the null-object pattern: every empty Vec shares the
+static `EMPTY` array. The code never writes into `EMPTY` (push always
+grows first, because the constructor establishes sz=0 > cap=-1, i.e.
+sz >= cap at the first push), but a flow-insensitive points-to analysis
+pollutes `arr0.contents` with `act0`, producing the false leak alarm
+
+    Act.objs ↪ vec0, vec0.tbl ↪ arr0, arr0.contents ↪ act0
+
+Thresher refutes the `arr0.contents ↪ act0` edge: the path through the
+grow-branch dies at the `new Object[cap]` allocation (WIT-NEW), and the
+bypass path carries `sz < cap` back to the constructor, where sz=0,
+cap=-1 contradicts it. The copy-loop producer additionally requires the
+loop-invariant inference of Section 3.3.
+"""
+
+import pytest
+
+from repro.ir import compile_program
+from repro.pointsto import ELEMS, ContainerSensitive, analyze, find_alarms
+from repro.symbolic import Engine, SearchConfig
+from repro.symbolic.stats import REFUTED, WITNESSED
+
+FIGURE1 = """
+class Activity { }
+
+class Main {
+    static void main() {
+        Act a = new Act();
+        a.onCreate();
+    }
+}
+
+class Act extends Activity {
+    static Vec objs = new Vec();
+    void onCreate() {
+        Vec acts = new Vec();
+        acts.push(this);
+        Act.objs.push("hello");
+    }
+}
+
+class Vec {
+    static Object[] EMPTY = new Object[1];
+    int sz;
+    int cap;
+    Object[] tbl;
+    Vec() {
+        this.sz = 0;
+        this.cap = 0 - 1;
+        this.tbl = Vec.EMPTY;
+    }
+    void push(Object val) {
+        Object[] oldtbl = this.tbl;
+        if (this.sz >= this.cap) {
+            this.cap = this.tbl.length * 2;
+            this.tbl = new Object[this.cap];
+            for (int i = 0; i < this.sz; i++) {
+                this.tbl[i] = oldtbl[i];
+            }
+        }
+        this.tbl[this.sz] = val;
+        this.sz = this.sz + 1;
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    prog = compile_program(FIGURE1)
+    pta = analyze(prog, policy=ContainerSensitive(containers={"Vec"}))
+    engine = Engine(pta, SearchConfig(path_budget=50_000))
+    return prog, pta, engine
+
+
+def empty_array_loc(pta):
+    (loc,) = pta.pt_static("Vec", "EMPTY")
+    return loc
+
+
+class TestFlowInsensitiveImprecision:
+    def test_graph_pollutes_empty_array(self, fig1):
+        """Figure 2: the flow-insensitive graph claims EMPTY holds act0."""
+        _, pta, _ = fig1
+        empty = empty_array_loc(pta)
+        contents = {str(l) for l in pta.pt_field(empty, ELEMS)}
+        assert "act0" in contents
+
+    def test_alarm_reported_by_points_to_alone(self, fig1):
+        prog, pta, _ = fig1
+        alarms = find_alarms(pta.graph, prog.class_table, "Activity")
+        roots = {str(root) for root, _ in alarms}
+        # Both static roots reach the Activity in the polluted graph.
+        assert "Vec.EMPTY" in roots
+        assert "Act.objs" in roots
+
+    def test_activity_never_in_empty_concretely(self, fig1):
+        """Ground truth via the concrete interpreter: no run ever stores
+        anything into the shared EMPTY array."""
+        from repro.ir import Interpreter
+
+        prog, _, _ = fig1
+        for run in Interpreter(prog).explore():
+            empty = run.statics.get(("Vec", "EMPTY"))
+            if empty is not None:
+                assert empty.elems == {}
+
+
+class TestRefutation:
+    def _contents_edges(self, pta):
+        empty = empty_array_loc(pta)
+        return [
+            e
+            for e in pta.graph.heap_edges()
+            if e.src == empty and e.field == ELEMS and e.dst.class_name == "Act"
+        ]
+
+    def test_empty_contents_act_edge_refuted(self, fig1):
+        """The core result of Section 2: arr0.contents ↪ act0 is refuted
+        at every producing statement (both line 20 and the copy loop)."""
+        _, pta, engine = fig1
+        edges = self._contents_edges(pta)
+        assert edges, "expected the polluted edge to exist"
+        for edge in edges:
+            result = engine.refute_edge(edge)
+            assert result.status == REFUTED, f"{edge}: {result.status}"
+
+    def test_edge_has_multiple_producers(self, fig1):
+        """Both the push-write (line 20) and the copy loop (line 17) are
+        candidate producers of the polluted edge."""
+        _, pta, engine = fig1
+        edge = self._contents_edges(pta)[0]
+        producers = pta.producers_of(edge)
+        assert len(producers) == 2
+
+    def test_string_into_empty_also_refuted(self, fig1):
+        """The "hello" string is also never stored into EMPTY (it goes into
+        objs' freshly grown array)."""
+        _, pta, engine = fig1
+        empty = empty_array_loc(pta)
+        edges = [
+            e
+            for e in pta.graph.heap_edges()
+            if e.src == empty and e.field == ELEMS and e.dst.class_name == "String"
+        ]
+        assert edges
+        for edge in edges:
+            assert engine.refute_edge(edge).status == REFUTED
+
+    def test_string_push_into_grown_array_witnessed(self, fig1):
+        """The real flow — the string pushed into objs' own grown array —
+        must be witnessed, not refuted."""
+        _, pta, engine = fig1
+        empty = empty_array_loc(pta)
+        edges = [
+            e
+            for e in pta.graph.heap_edges()
+            if e.field == ELEMS
+            and e.dst.class_name == "String"
+            and e.src != empty
+        ]
+        assert edges
+        statuses = {engine.refute_edge(e).status for e in edges}
+        assert WITNESSED in statuses
+
+    def test_act_into_grown_array_witnessed(self, fig1):
+        """acts.push(this) legitimately stores the Act into acts' grown
+        array: witnessed."""
+        _, pta, engine = fig1
+        empty = empty_array_loc(pta)
+        edges = [
+            e
+            for e in pta.graph.heap_edges()
+            if e.field == ELEMS and e.dst.class_name == "Act" and e.src != empty
+        ]
+        assert edges
+        statuses = {engine.refute_edge(e).status for e in edges}
+        assert WITNESSED in statuses

@@ -1,0 +1,64 @@
+"""Frontend property tests: pretty-printing round-trips, checker
+idempotence, and interpreter determinism over random programs."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.ir import Interpreter, Limits, compile_program
+from repro.lang import check_program, parse_program
+from repro.lang.pretty import pretty_program
+
+from .test_refutation_soundness import programs
+
+_SETTINGS = dict(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@settings(**_SETTINGS)
+@given(programs())
+def test_pretty_print_round_trip(source):
+    """pretty ∘ parse is a fixed point after one iteration."""
+    unit1 = parse_program(source)
+    printed1 = pretty_program(unit1)
+    unit2 = parse_program(printed1)
+    printed2 = pretty_program(unit2)
+    assert printed1 == printed2
+
+
+@settings(**_SETTINGS)
+@given(programs())
+def test_checker_idempotent(source):
+    unit = parse_program(source)
+    check_program(unit)
+    check_program(unit)  # re-checking the resolved tree must succeed
+
+
+@settings(**_SETTINGS)
+@given(programs())
+def test_round_tripped_program_has_same_ir_size(source):
+    """Lowering the pretty-printed program yields the same command count —
+    the desugarings are syntax-directed."""
+    direct = compile_program(source)
+    round_tripped = compile_program(pretty_program(parse_program(source)))
+    assert sum(1 for _ in direct.all_commands()) == sum(
+        1 for _ in round_tripped.all_commands()
+    )
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+@given(programs())
+def test_interpreter_deterministic(source):
+    """Exploration is deterministic: two runs enumerate identical traces."""
+    program = compile_program(source)
+    limits = Limits(max_loop_iterations=3, max_steps=4_000, max_paths=200)
+
+    def snapshot():
+        return [
+            (run.status, tuple(run.produced))
+            for run in Interpreter(program, limits).explore()
+        ]
+
+    assert snapshot() == snapshot()

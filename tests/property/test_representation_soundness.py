@@ -1,0 +1,47 @@
+"""Refutation soundness must hold in every state representation.
+
+Table 2 and the Section 4 ablations run the engine with the
+fully-symbolic and fully-explicit representations; both may be slower or
+less precise than the mixed one, but *never* unsound. Same harness as
+``test_refutation_soundness``, swept over representations (and the
+drop-all loop-inference ablation for good measure)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.ir import compile_program
+from repro.pointsto import analyze
+from repro.symbolic import Engine, LoopInference, Representation, SearchConfig
+from repro.symbolic.stats import REFUTED
+
+from .test_refutation_soundness import concrete_edge_keys, graph_edge_key, programs
+
+CONFIGS = [
+    SearchConfig(representation=Representation.FULLY_SYMBOLIC, path_budget=2_000),
+    SearchConfig(representation=Representation.FULLY_EXPLICIT, path_budget=2_000),
+    SearchConfig(loop_inference=LoopInference.DROP_ALL, path_budget=2_000),
+    SearchConfig(simplify_queries=False, path_budget=2_000),
+    SearchConfig(max_call_depth=1, path_budget=2_000),
+    SearchConfig(max_path_constraints=0, path_budget=2_000),
+]
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(programs())
+def test_all_configurations_sound(source):
+    program = compile_program(source)
+    produced = concrete_edge_keys(program)
+    pta = analyze(program)
+    all_edges = list(pta.graph.heap_edges()) + list(pta.graph.static_edges())
+    for config in CONFIGS:
+        engine = Engine(pta, config)
+        for edge in all_edges:
+            result = engine.refute_edge(edge)
+            if result.status == REFUTED:
+                assert graph_edge_key(edge) not in produced, (
+                    f"UNSOUND under {config}: {edge}\n{source}"
+                )

@@ -1,0 +1,73 @@
+"""Tests for ``assert`` statements and their interaction with refutation."""
+
+import pytest
+
+from repro.ir import Interpreter, compile_program
+from repro.lang import ast, frontend, parse_program
+from repro.lang.errors import TypeCheckError
+from repro.pointsto import analyze
+from repro.symbolic import Engine
+from repro.symbolic.stats import REFUTED, WITNESSED
+
+
+class TestFrontend:
+    def test_parses(self):
+        unit = parse_program("class A { void m(int x) { assert x == 1; } }")
+        assert isinstance(unit.classes[0].methods[0].body.stmts[0], ast.Assert)
+
+    def test_requires_boolean(self):
+        with pytest.raises(TypeCheckError):
+            frontend("class A { void m(int x) { assert x; } }")
+
+    def test_pretty_round_trip(self):
+        from repro.lang.pretty import pretty_program
+
+        unit = parse_program("class A { void m(int x) { assert x < 2; } }")
+        assert "assert" in pretty_program(unit)
+
+
+class TestSemantics:
+    def test_passing_assert_continues(self):
+        prog = compile_program(
+            "class M { static Object done; static void main() {"
+            " int x = 1; assert x == 1; M.done = new Object(); } }"
+        )
+        runs = Interpreter(prog).explore()
+        assert all(r.status == "completed" for r in runs)
+        assert all(r.statics[("M", "done")] is not None for r in runs)
+
+    def test_failing_assert_aborts(self):
+        prog = compile_program(
+            "class M { static Object done; static void main() {"
+            " int x = 1; assert x == 2; M.done = new Object(); } }"
+        )
+        runs = Interpreter(prog).explore()
+        assert all(r.status == "aborted" for r in runs)
+        assert all(r.statics.get(("M", "done")) is None for r in runs)
+
+    def test_assert_blocks_refutation_paths(self):
+        # The store happens only on paths where the assert passed; the
+        # engine must treat the failing branch as terminating.
+        prog = compile_program(
+            "class Box { Object v; } class M { static void main() {"
+            " int x = 2;"
+            " assert x == 1;"
+            " Box b = new Box(); b.v = new Object(); } }"
+        )
+        pta = analyze(prog)
+        edges = [e for e in pta.graph.heap_edges() if e.field == "v"]
+        engine = Engine(pta)
+        # x == 2 contradicts the passing assume: no feasible path.
+        assert engine.refute_edge(edges[0]).status == REFUTED
+
+    def test_assert_true_transparent_to_refuter(self):
+        prog = compile_program(
+            "class Box { Object v; } class M { static void main() {"
+            " int x = 1;"
+            " assert x == 1;"
+            " Box b = new Box(); b.v = new Object(); } }"
+        )
+        pta = analyze(prog)
+        edges = [e for e in pta.graph.heap_edges() if e.field == "v"]
+        engine = Engine(pta)
+        assert engine.refute_edge(edges[0]).status == WITNESSED

@@ -1,0 +1,108 @@
+"""Unit tests for the ``thresher`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+LEAKY_APP = """
+class A extends Activity {
+    static Activity cache;
+    void onCreate() { A.cache = this; }
+}
+"""
+
+CLEAN_APP = """
+class A extends Activity {
+    static boolean keep = false;
+    static Activity cache;
+    void onCreate() { if (A.keep) { A.cache = this; } }
+}
+"""
+
+
+@pytest.fixture
+def leaky_file(tmp_path):
+    path = tmp_path / "leaky.mj"
+    path.write_text(LEAKY_APP)
+    return str(path)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.mj"
+    path.write_text(CLEAN_APP)
+    return str(path)
+
+
+class TestCheck:
+    def test_leaky_app_exits_nonzero(self, leaky_file, capsys):
+        code = main(["check", leaky_file])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "confirmed" in out
+        assert "A.cache" in out
+
+    def test_clean_app_exits_zero(self, clean_file, capsys):
+        code = main(["check", clean_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "refuted" in out
+
+    def test_witnesses_flag_prints_trace(self, leaky_file, capsys):
+        code = main(["check", leaky_file, "--witnesses"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "witness for" in out
+
+    def test_budget_flag_accepted(self, clean_file):
+        assert main(["check", clean_file, "--budget", "100"]) in (0, 1)
+
+    def test_annotated_flag(self, clean_file):
+        assert main(["check", clean_file, "--annotated"]) == 0
+
+
+class TestGraph:
+    def test_dot_output(self, leaky_file, capsys):
+        assert main(["graph", leaky_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "cache" in out
+
+    def test_no_library_mode(self, tmp_path, capsys):
+        path = tmp_path / "standalone.mj"
+        path.write_text(
+            "class Box { Object v; } class M { static void main() {"
+            " Box b = new Box(); b.v = new Object(); } }"
+        )
+        assert main(["graph", str(path), "--no-library"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+
+class TestWitness:
+    def test_witness_for_field(self, leaky_file, capsys):
+        assert main(["witness", leaky_file, "A.cache"]) == 0
+        out = capsys.readouterr().out
+        assert "WITNESSED" in out
+
+    def test_refuted_field(self, clean_file, capsys):
+        assert main(["witness", clean_file, "A.cache"]) == 0
+        assert "REFUTED" in capsys.readouterr().out
+
+    def test_missing_dot_rejected(self, leaky_file):
+        assert main(["witness", leaky_file, "nodot"]) == 2
+
+    def test_unknown_field_reports_no_edges(self, leaky_file, capsys):
+        assert main(["witness", leaky_file, "A.nothing"]) == 0
+        assert "no points-to edges" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_bench_single_app_table1(self, capsys):
+        assert main(["bench", "--app", "DroidLife"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "DroidLife" in out
+
+    def test_bench_single_app_table2(self, capsys):
+        assert main(["bench", "--table", "2", "--app", "DroidLife"]) == 0
+        assert "Table 2" in capsys.readouterr().out

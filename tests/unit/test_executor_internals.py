@@ -1,0 +1,211 @@
+"""White-box tests for executor internals: continuations, callee skipping,
+dispatch filtering, and the generic fact-checking entry point."""
+
+import pytest
+
+from repro.ir import compile_program
+from repro.ir import instructions as ins
+from repro.pointsto import ELEMS, analyze
+from repro.pointsto.modref import ModSet
+from repro.symbolic import Engine, Query, SearchConfig
+from repro.symbolic.executor import EnterMethodTask, StmtTask
+from repro.symbolic.stats import REFUTED, WITNESSED
+
+
+def setup(source, **cfg):
+    program = compile_program(source)
+    pta = analyze(program)
+    return program, pta, Engine(pta, SearchConfig(**cfg))
+
+
+def label_of(program, text):
+    for label, cmd in program.commands.items():
+        if str(cmd) == text:
+            return label
+    raise AssertionError(f"no command {text!r}")
+
+
+class TestContinuations:
+    SOURCE = (
+        "class M { static void main() {"
+        " int a = 1;"
+        " if (a < 2) { int b = 2; }"
+        " int c = 3; } }"
+    )
+
+    def test_continuation_ends_with_method_entry(self):
+        program, pta, engine = setup(self.SOURCE)
+        label = label_of(program, "c := 3")
+        k = engine._continuation_before("M.main", label)
+        tasks = []
+        while k != ():
+            task, k = k
+            tasks.append(task)
+        assert isinstance(tasks[-1], EnterMethodTask)
+        assert tasks[-1].qname == "M.main"
+
+    def test_continuation_covers_preceding_siblings(self):
+        program, pta, engine = setup(self.SOURCE)
+        label = label_of(program, "c := 3")
+        k = engine._continuation_before("M.main", label)
+        texts = []
+        while k != ():
+            task, k = k
+            if isinstance(task, StmtTask):
+                from repro.ir.printer import print_stmt
+
+                texts.append(print_stmt(task.stmt))
+        joined = "\n".join(texts)
+        assert "a := 1" in joined
+        assert "choice" in joined
+        assert "c := 3" not in joined  # exclusive of the target command
+
+    def test_continuation_inside_branch(self):
+        program, pta, engine = setup(self.SOURCE)
+        label = label_of(program, "b := 2")
+        k = engine._continuation_before("M.main", label)
+        texts = []
+        while k != ():
+            task, k = k
+            if isinstance(task, StmtTask):
+                from repro.ir.printer import print_stmt
+
+                texts.append(print_stmt(task.stmt))
+        joined = "\n".join(texts)
+        # Inside the branch: the guard assume precedes, the other branch
+        # does not appear, and the whole choice is not re-executed.
+        assert "assume (a < 2)" in joined
+        assert "choice" not in joined
+
+    def test_continuation_inside_loop_adds_loop_task(self):
+        program, pta, engine = setup(
+            "class M { static void main() {"
+            " int i = 0;"
+            " while (i < 3) { int x = 9; i = i + 1; } } }"
+        )
+        label = label_of(program, "x := 9")
+        k = engine._continuation_before("M.main", label)
+        from repro.ir.stmts import Loop
+
+        kinds = []
+        while k != ():
+            task, k = k
+            if isinstance(task, StmtTask):
+                kinds.append(type(task.stmt).__name__)
+        assert "Loop" in kinds  # saturation scheduled for the partial iteration
+
+
+class TestSkipCall:
+    def test_skip_drops_modified_fields_only(self):
+        program, pta, engine = setup(
+            "class Box { Object v; Object w; }"
+            " class M { static void touch(Box b) { b.v = null; }"
+            " static void main() { M.touch(new Box()); } }"
+        )
+        invoke = next(
+            c
+            for _, c in program.all_commands()
+            if isinstance(c, ins.Invoke) and c.method_name == "touch"
+        )
+        q = Query("M.main")
+        base = q.new_ref(pta.pt_local("M.main", "$t0") or None)
+        v_val = q.new_ref(None)
+        w_val = q.new_ref(None)
+        q.set_field(base, "v", v_val)
+        q.set_field(base, "w", w_val)
+        mod = pta.modref.method_mod("M.touch")
+        engine._skip_call(invoke, q, mod)
+        assert q.get_field(base, "v") is None  # touched field dropped
+        assert q.get_field(base, "w") is not None  # untouched field kept
+
+    def test_skip_drops_allocated_instances(self):
+        program, pta, engine = setup(
+            "class Box { Object v; }"
+            " class M { static Object make() { return new Object(); }"
+            " static void main() { Object o = M.make(); } }"
+        )
+        invoke = next(
+            c
+            for _, c in program.all_commands()
+            if isinstance(c, ins.Invoke) and c.method_name == "make"
+        )
+        mod = pta.modref.method_mod("M.make")
+        q = Query("M.main")
+        made = q.new_ref(pta.pt_local("M.main", "o"))  # from the callee's site
+        other = q.new_ref(None)
+        q.set_field(other, "v", made)
+        engine._skip_call(invoke, q, mod)
+        # The instance the callee may allocate must not survive the skip.
+        assert q.get_field(other, "v") is None
+
+    def test_unknown_callee_drops_heap(self):
+        program, pta, engine = setup("class M { static void main() { } }")
+        invoke = ins.Invoke(None, None, "mystery", [], "Nowhere", "static")
+        invoke.label = -1
+        mod = ModSet()
+        mod.calls_unknown = True
+        q = Query("M.main")
+        base = q.new_ref(None)
+        q.set_field(base, "f", q.new_ref(None))
+        q.set_static("C", "g", q.new_ref(None))
+        local = q.new_data()
+        q.set_local("keepme", local)
+        engine._skip_call(invoke, q, mod)
+        assert not q.field_cells and not q.statics
+        assert q.get_local("keepme") is not None  # caller locals survive
+
+
+class TestDispatchFiltering:
+    def test_receiver_region_filters_targets(self):
+        program, pta, engine = setup(
+            "class Base { Object make() { return new Object(); } }"
+            " class Sub extends Base { Object make() { return new String(); } }"
+            " class M { static void main() {"
+            "   Base b = new Base();"
+            "   if (nondet()) { b = new Sub(); }"
+            "   Object o = b.make(); } }"
+        )
+        invoke = next(
+            c
+            for _, c in program.all_commands()
+            if isinstance(c, ins.Invoke) and c.method_name == "make"
+        )
+        callees = sorted(pta.callees_of(invoke.label))
+        assert callees == ["Base.make", "Sub.make"]
+        q = Query("M.main")
+        recv = q.new_ref(
+            frozenset(l for l in pta.pt_local("M.main", "b") if str(l) == "sub0")
+        )
+        q.set_local(invoke.receiver, recv)
+        filtered = engine._filter_dispatch(invoke, q, callees)
+        assert filtered == ["Sub.make"]
+
+
+class TestRefuteFactAt:
+    SOURCE = (
+        "class A { } class B { } class M { static void main() {"
+        " Object o = new A();"
+        " int k = 0;"
+        " if (k == 1) { o = new B(); }"
+        " int probe = 7; } }"
+    )
+
+    def test_feasible_fact_witnessed(self):
+        program, pta, engine = setup(self.SOURCE)
+        label = label_of(program, "probe := 7")
+        a_locs = frozenset(l for l in pta.pt_local("M.main", "o") if str(l) == "a0")
+        result = engine.refute_fact_at(label, [("o", a_locs)])
+        assert result.status == WITNESSED
+
+    def test_infeasible_fact_refuted(self):
+        program, pta, engine = setup(self.SOURCE)
+        label = label_of(program, "probe := 7")
+        b_locs = frozenset(l for l in pta.pt_local("M.main", "o") if str(l) == "b0")
+        result = engine.refute_fact_at(label, [("o", b_locs)])
+        assert result.status == REFUTED
+
+    def test_empty_region_trivially_refuted(self):
+        program, pta, engine = setup(self.SOURCE)
+        label = label_of(program, "probe := 7")
+        result = engine.refute_fact_at(label, [("o", frozenset())])
+        assert result.status == REFUTED

@@ -1,0 +1,254 @@
+"""Unit tests for the bounded concrete interpreter."""
+
+from repro.ir import Interpreter, Limits, compile_program, heap_reaches
+
+
+def run_all(source, **limit_kwargs):
+    prog = compile_program(source)
+    interp = Interpreter(prog, Limits(**limit_kwargs) if limit_kwargs else None)
+    return prog, interp.explore()
+
+
+def completed(runs):
+    return [r for r in runs if r.status == "completed"]
+
+
+class TestBasics:
+    def test_straight_line_single_run(self):
+        _, runs = run_all("class A { static void main() { int x = 1 + 2; } }")
+        assert len(completed(runs)) == 1
+
+    def test_static_write_recorded(self):
+        prog, runs = run_all(
+            "class A { static Object o; static void main() { A.o = new Object(); } }"
+        )
+        (run,) = completed(runs)
+        assert run.statics[("A", "o")] is not None
+        (edge,) = run.produced
+        assert edge.src == ("static", "A", "o")
+
+    def test_field_write_produces_edge(self):
+        prog, runs = run_all(
+            "class Box { Object v; }"
+            " class A { static void main() {"
+            " Box b = new Box(); b.v = new Object(); } }"
+        )
+        (run,) = completed(runs)
+        edges = [e for e in run.produced if e.field_name == "v"]
+        assert len(edges) == 1
+        assert edges[0].src.class_name == "Box"
+        assert edges[0].dst.class_name == "Object"
+
+    def test_array_write_produces_elems_edge(self):
+        _, runs = run_all(
+            "class A { static void main() {"
+            " Object[] xs = new Object[2]; xs[0] = new Object(); } }"
+        )
+        (run,) = completed(runs)
+        assert any(e.field_name == "@elems" for e in run.produced)
+
+    def test_arithmetic_semantics(self):
+        prog, runs = run_all(
+            "class A { static int r; static int compute() {"
+            " return (7 + 3) * 2 - 9 / 2; }"
+            " static void main() { int x = A.compute(); A.r = x + 0; } }"
+        )
+        # r is an int static; no heap edge, but check by re-running with a
+        # static object guard: instead verify via a conditional allocation.
+        assert completed(runs)
+
+    def test_branch_forks_runs(self):
+        _, runs = run_all(
+            "class A { static void main() {"
+            " boolean b = nondet(); if (b) { int x = 1; } else { int y = 2; } } }"
+        )
+        assert len(completed(runs)) == 2
+
+    def test_infeasible_branch_pruned(self):
+        _, runs = run_all(
+            "class A { static Object o; static void main() {"
+            " int x = 1; if (x > 5) { A.o = new Object(); } } }"
+        )
+        (run,) = completed(runs)
+        assert run.produced == []
+
+    def test_loop_iterates(self):
+        _, runs = run_all(
+            "class A { static void main() {"
+            " int i = 0; int s = 0; while (i < 3) { s = s + i; i = i + 1; } } }"
+        )
+        assert len(completed(runs)) == 1  # deterministic loop: one feasible path
+
+    def test_loop_bound_truncates(self):
+        _, runs = run_all(
+            "class A { static void main() {"
+            " int i = 0; while (i < 100) { i = i + 1; } } }",
+            max_loop_iterations=4,
+        )
+        # No feasible completion within the bound; nothing enumerated.
+        assert completed(runs) == []
+
+    def test_null_deref_aborts(self):
+        _, runs = run_all(
+            "class Box { Object v; } class A { static void main() {"
+            " Box b = null; b.v = new Object(); } }"
+        )
+        assert runs and runs[0].status == "aborted"
+        assert "null" in runs[0].reason
+
+    def test_division_by_zero_aborts(self):
+        _, runs = run_all(
+            "class A { static void main() { int z = 0; int x = 1 / z; } }"
+        )
+        assert runs[0].status == "aborted"
+
+    def test_array_bounds_checked(self):
+        _, runs = run_all(
+            "class A { static void main() {"
+            " Object[] xs = new Object[1]; Object o = xs[5]; } }"
+        )
+        assert runs[0].status == "aborted"
+
+
+class TestCallsAndDispatch:
+    def test_static_call_returns_value(self):
+        _, runs = run_all(
+            "class A { static Object o;"
+            " static Object make() { return new Object(); }"
+            " static void main() { A.o = A.make(); } }"
+        )
+        (run,) = completed(runs)
+        assert run.statics[("A", "o")] is not None
+
+    def test_virtual_dispatch_picks_override(self):
+        _, runs = run_all(
+            "class Base { static Object o;"
+            "   Object make() { return null; } }"
+            " class Sub extends Base {"
+            "   Object make() { return new Object(); } }"
+            " class Main { static void main() {"
+            "   Base b = new Sub(); Base.o = b.make(); } }"
+        )
+        (run,) = completed(runs)
+        assert run.statics[("Base", "o")] is not None
+
+    def test_ctor_runs_field_inits(self):
+        _, runs = run_all(
+            "class Box { Object v = new Object(); }"
+            " class A { static Object o; static void main() {"
+            " Box b = new Box(); A.o = b.v; } }"
+        )
+        (run,) = completed(runs)
+        assert run.statics[("A", "o")] is not None
+
+    def test_super_ctor_chain(self):
+        _, runs = run_all(
+            "class Ctx { }"
+            " class Base { Ctx c; Base(Ctx c) { this.c = c; } }"
+            " class Sub extends Base { Sub(Ctx c) { super(c); } }"
+            " class A { static Ctx got; static void main() {"
+            " Ctx ctx = new Ctx(); Sub s = new Sub(ctx); A.got = s.c; } }"
+        )
+        (run,) = completed(runs)
+        assert run.statics[("A", "got")] is not None
+
+    def test_early_return_skips_rest(self):
+        _, runs = run_all(
+            "class A { static Object o;"
+            " static void maybe(int x) {"
+            "   if (x > 0) { return; }"
+            "   A.o = new Object(); }"
+            " static void main() { A.maybe(1); } }"
+        )
+        (run,) = completed(runs)
+        assert run.statics.get(("A", "o")) is None
+
+    def test_recursion_bounded_by_call_depth(self):
+        _, runs = run_all(
+            "class A { static void loop() { A.loop(); }"
+            " static void main() { A.loop(); } }",
+            max_call_depth=8,
+        )
+        assert runs and runs[0].status == "aborted"
+
+
+class TestControlFlowDesugaring:
+    def test_break_exits_loop(self):
+        _, runs = run_all(
+            "class A { static Object o; static void main() {"
+            " int i = 0; while (i < 10) {"
+            "   if (i == 2) { break; }"
+            "   i = i + 1; }"
+            " if (i == 2) { A.o = new Object(); } } }"
+        )
+        assert any(r.statics.get(("A", "o")) is not None for r in completed(runs))
+        assert all(r.statics.get(("A", "o")) is not None for r in completed(runs))
+
+    def test_continue_skips_rest_of_iteration(self):
+        _, runs = run_all(
+            "class A { static Object o; static void main() {"
+            " int i = 0; int hits = 0;"
+            " while (i < 4) {"
+            "   i = i + 1;"
+            "   if (i == 2) { continue; }"
+            "   hits = hits + 1; }"
+            " if (hits == 3) { A.o = new Object(); } } }"
+        )
+        assert completed(runs)
+        assert all(r.statics.get(("A", "o")) is not None for r in completed(runs))
+
+    def test_vec_push_example_runs(self):
+        # The paper's Figure 1 program executes without polluting EMPTY.
+        source = """
+        class Activity { }
+        class Main { static void main() { Act a = new Act(); a.onCreate(); } }
+        class Act extends Activity {
+            static Vec objs;
+            void onCreate() {
+                Vec acts = new Vec();
+                acts.push(this);
+                Act.objs = new Vec();
+                Act.objs.push("hello");
+            }
+        }
+        class Vec {
+            static Object[] EMPTY;
+            int sz; int cap; Object[] tbl;
+            Vec() {
+                if (Vec.EMPTY == null) { Vec.EMPTY = new Object[1]; }
+                this.sz = 0; this.cap = 0 - 1; this.tbl = Vec.EMPTY;
+            }
+            void push(Object val) {
+                Object[] oldtbl = this.tbl;
+                if (this.sz >= this.cap) {
+                    this.cap = this.tbl.length * 2;
+                    this.tbl = new Object[this.cap];
+                    for (int i = 0; i < this.sz; i++) { this.tbl[i] = oldtbl[i]; }
+                }
+                this.tbl[this.sz] = val;
+                this.sz = this.sz + 1;
+            }
+        }
+        """
+        prog, runs = run_all(source)
+        good = completed(runs)
+        assert good
+        # No run ever stores an Activity into the shared EMPTY array: the
+        # concrete ground truth for the paper's refutation.
+        empty_sites = set()
+        for run in good:
+            empty = run.statics.get(("Vec", "EMPTY"))
+            assert empty is not None
+            assert empty.elems == {}
+
+    def test_heap_reaches_detects_leak(self):
+        source = """
+        class Activity { }
+        class Act extends Activity { }
+        class Holder { static Object cache; }
+        class Main { static void main() { Holder.cache = new Act(); } }
+        """
+        prog, runs = run_all(source)
+        (run,) = completed(runs)
+        hits = heap_reaches(run.statics, prog.class_table, {"Activity"})
+        assert hits and hits[0][0] == ("Holder", "cache")

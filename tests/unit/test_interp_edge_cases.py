@@ -1,0 +1,114 @@
+"""Additional interpreter edge cases: defaults, dispatch corners, limits."""
+
+import pytest
+
+from repro.ir import Interpreter, Limits, compile_program
+
+
+def runs_of(source, **limits):
+    prog = compile_program(source)
+    return Interpreter(prog, Limits(**limits) if limits else None).explore()
+
+
+def completed(runs):
+    return [r for r in runs if r.status == "completed"]
+
+
+class TestDefaults:
+    def test_uninitialized_statics_are_null_or_zero(self):
+        runs = runs_of(
+            "class M { static Object o; static int n; static boolean b;"
+            " static Object hit;"
+            " static void main() {"
+            "   if (M.o == null) { if (M.n == 0) { if (!M.b) {"
+            "     M.hit = new Object(); } } } } }"
+        )
+        assert all(r.statics.get(("M", "hit")) is not None for r in completed(runs))
+
+    def test_local_declaration_without_init_defaults(self):
+        runs = runs_of(
+            "class M { static Object hit; static void main() {"
+            " int n; boolean b; Object o;"
+            " if (n == 0 && !b && o == null) { M.hit = new Object(); } } }"
+        )
+        assert all(r.statics.get(("M", "hit")) is not None for r in completed(runs))
+
+    def test_array_elements_default_null(self):
+        runs = runs_of(
+            "class M { static Object hit; static void main() {"
+            " Object[] xs = new Object[2];"
+            " if (xs[0] == null) { M.hit = new Object(); } } }"
+        )
+        assert all(r.statics.get(("M", "hit")) is not None for r in completed(runs))
+
+
+class TestArithmetic:
+    def test_java_division_truncates_toward_zero(self):
+        runs = runs_of(
+            "class M { static Object hit; static void main() {"
+            " int a = 0 - 7; int q = a / 2; int r = a % 2;"
+            " if (q == 0 - 3 && r == 0 - 1) { M.hit = new Object(); } } }"
+        )
+        assert completed(runs)
+        assert all(r.statics.get(("M", "hit")) is not None for r in completed(runs))
+
+    def test_unary_minus(self):
+        runs = runs_of(
+            "class M { static Object hit; static void main() {"
+            " int x = 5; int y = -x;"
+            " if (y + 5 == 0) { M.hit = new Object(); } } }"
+        )
+        assert all(r.statics.get(("M", "hit")) is not None for r in completed(runs))
+
+
+class TestDispatchCorners:
+    def test_inherited_method_runs_on_subclass_instance(self):
+        runs = runs_of(
+            "class Base { Object tag() { return new Object(); } }"
+            " class Sub extends Base { }"
+            " class M { static Object got; static void main() {"
+            " Sub s = new Sub(); M.got = s.tag(); } }"
+        )
+        assert all(r.statics[("M", "got")] is not None for r in completed(runs))
+
+    def test_overriding_two_levels(self):
+        runs = runs_of(
+            "class A { int k() { return 1; } }"
+            " class B extends A { int k() { return 2; } }"
+            " class C extends B { int k() { return 3; } }"
+            " class M { static Object hit; static void main() {"
+            " A a = new C(); if (a.k() == 3) { M.hit = new Object(); } } }"
+        )
+        assert all(r.statics.get(("M", "hit")) is not None for r in completed(runs))
+
+    def test_field_shadowing_resolution(self):
+        # Our language forbids duplicate fields per class but inherited
+        # fields are shared; a write through a subclass hits the base slot.
+        runs = runs_of(
+            "class A { int f; }"
+            " class B extends A { void set() { this.f = 9; } }"
+            " class M { static Object hit; static void main() {"
+            " B b = new B(); b.set();"
+            " A a = b; if (a.f == 9) { M.hit = new Object(); } } }"
+        )
+        assert all(r.statics.get(("M", "hit")) is not None for r in completed(runs))
+
+
+class TestLimits:
+    def test_max_paths_caps_enumeration(self):
+        runs = runs_of(
+            "class M { static void main() {"
+            + " ".join("boolean b%d = nondet();" % i for i in range(8))
+            + " } }",
+            max_paths=10,
+        )
+        assert len(runs) <= 10
+
+    def test_step_limit_marks_aborted(self):
+        runs = runs_of(
+            "class M { static void main() {"
+            " int i = 0; while (i < 100) { i = i + 1; } } }",
+            max_steps=50,
+            max_loop_iterations=200,
+        )
+        assert runs and all(r.status == "aborted" for r in runs)

@@ -1,0 +1,317 @@
+"""Unit tests for AST → structured-IR lowering."""
+
+import pytest
+
+from repro.ir import (
+    AtomicStmt,
+    Choice,
+    Loop,
+    Seq,
+    compile_program,
+    walk_commands,
+    walk_statements,
+)
+from repro.ir import instructions as ins
+from repro.ir.builder import LoweringError
+from repro.ir.program import CLINIT, ENTRY_METHOD, FIN_VAR, INIT, RET_VAR
+
+
+def commands_of(program, qname):
+    return list(program.commands_of(qname))
+
+
+def cmd_types(program, qname):
+    return [type(c).__name__ for c in commands_of(program, qname)]
+
+
+class TestBasicLowering:
+    def test_assignment_chain(self):
+        prog = compile_program(
+            "class A { void m() { int x = 1; int y = x; } }", want_entry=False
+        )
+        cmds = commands_of(prog, "A.m")
+        assert [str(c) for c in cmds] == ["x := 1", "y := x"]
+
+    def test_field_write_lowered(self):
+        prog = compile_program(
+            "class A { A f; void m(A o) { this.f = o; } }", want_entry=False
+        )
+        cmds = commands_of(prog, "A.m")
+        assert isinstance(cmds[0], ins.FieldWrite)
+        assert cmds[0].base == "this" and cmds[0].field_name == "f"
+
+    def test_nested_field_read_flattened(self):
+        prog = compile_program(
+            "class A { A f; A g; void m() { A x = this.f.g; } }", want_entry=False
+        )
+        names = cmd_types(prog, "A.m")
+        assert names == ["FieldRead", "FieldRead", "Assign"]
+
+    def test_static_access(self):
+        prog = compile_program(
+            "class A { static A inst; void m() { A x = A.inst; A.inst = x; } }",
+            want_entry=False,
+        )
+        names = cmd_types(prog, "A.m")
+        assert "StaticRead" in names and "StaticWrite" in names
+
+    def test_array_ops(self):
+        prog = compile_program(
+            "class A { void m(Object[] xs, Object o) {"
+            " xs[0] = o; Object y = xs[1]; int n = xs.length; } }",
+            want_entry=False,
+        )
+        names = cmd_types(prog, "A.m")
+        assert "ArrayWrite" in names and "ArrayRead" in names and "ArrayLen" in names
+
+    def test_string_literal_is_allocation(self):
+        prog = compile_program(
+            'class A { void m() { Object s = "hello"; } }', want_entry=False
+        )
+        cmds = commands_of(prog, "A.m")
+        assert isinstance(cmds[0], ins.New)
+        assert cmds[0].site.kind == "string"
+
+    def test_new_object_emits_ctor_call(self):
+        prog = compile_program("class A { void m() { A x = new A(); } }", want_entry=False)
+        cmds = commands_of(prog, "A.m")
+        assert isinstance(cmds[0], ins.New)
+        assert isinstance(cmds[1], ins.Invoke)
+        assert cmds[1].method_name == INIT and cmds[1].kind == "special"
+
+    def test_virtual_call(self):
+        prog = compile_program(
+            "class A { void h(int x) { } void m() { this.h(3); } }", want_entry=False
+        )
+        call = [c for c in commands_of(prog, "A.m") if isinstance(c, ins.Invoke)][0]
+        assert call.kind == "virtual" and call.receiver == "this"
+        assert call.args == [ins.IntAtom(3)]
+
+    def test_call_result_bound(self):
+        prog = compile_program(
+            "class A { int h() { return 1; } void m() { int x = this.h(); } }",
+            want_entry=False,
+        )
+        call = [c for c in commands_of(prog, "A.m") if isinstance(c, ins.Invoke)][0]
+        assert call.lhs is not None
+
+    def test_nondet_lowered(self):
+        prog = compile_program(
+            "class A { void m() { boolean b = nondet(); } }", want_entry=False
+        )
+        assert any(isinstance(c, ins.Nondet) for c in commands_of(prog, "A.m"))
+
+    def test_ref_equality_flagged(self):
+        prog = compile_program(
+            "class A { void m(A x, A y) { boolean b = x == y; } }", want_entry=False
+        )
+        binop = [c for c in commands_of(prog, "A.m") if isinstance(c, ins.BinOpCmd)][0]
+        assert binop.ref_operands
+
+    def test_int_equality_not_flagged(self):
+        prog = compile_program(
+            "class A { void m(int x, int y) { boolean b = x == y; } }", want_entry=False
+        )
+        binop = [c for c in commands_of(prog, "A.m") if isinstance(c, ins.BinOpCmd)][0]
+        assert not binop.ref_operands
+
+
+class TestControlFlow:
+    def test_if_becomes_choice_with_assumes(self):
+        prog = compile_program(
+            "class A { void m(int x) { if (x < 3) { x = 1; } else { x = 2; } } }",
+            want_entry=False,
+        )
+        body = prog.methods["A.m"].body
+        choices = [s for s in walk_statements(body) if isinstance(s, Choice)]
+        assert len(choices) == 1
+        then_branch, else_branch = choices[0].branches
+        first_then = next(walk_commands(then_branch))
+        first_else = next(walk_commands(else_branch))
+        assert isinstance(first_then, ins.Assume) and first_then.polarity
+        assert isinstance(first_else, ins.Assume) and not first_else.polarity
+        # The guard stays an unlowered pure expression.
+        assert isinstance(first_then.expr, ins.PBin)
+
+    def test_while_becomes_loop_plus_exit_assume(self):
+        prog = compile_program(
+            "class A { void m(int n) { int i = 0; while (i < n) { i = i + 1; } } }",
+            want_entry=False,
+        )
+        body = prog.methods["A.m"].body
+        loops = [s for s in walk_statements(body) if isinstance(s, Loop)]
+        assert len(loops) == 1
+        assumes = [c for c in walk_commands(body) if isinstance(c, ins.Assume)]
+        polarities = sorted(a.polarity for a in assumes)
+        assert polarities == [False, True]
+
+    def test_impure_guard_is_lowered_to_temp(self):
+        prog = compile_program(
+            "class A { boolean p() { return true; }"
+            " void m() { if (this.p()) { int x = 1; } } }",
+            want_entry=False,
+        )
+        cmds = commands_of(prog, "A.m")
+        assume = [c for c in cmds if isinstance(c, ins.Assume)][0]
+        assert isinstance(assume.expr, ins.PVar)
+        assert any(isinstance(c, ins.Invoke) for c in cmds)
+
+    def test_pure_field_guard_stays_symbolic(self):
+        prog = compile_program(
+            "class A { int sz; int cap;"
+            " void m() { if (this.sz >= this.cap) { int x = 1; } } }",
+            want_entry=False,
+        )
+        assume = [c for c in commands_of(prog, "A.m") if isinstance(c, ins.Assume)][0]
+        expr = assume.expr
+        assert isinstance(expr, ins.PBin) and expr.op == ">="
+        assert isinstance(expr.left, ins.PField)
+
+    def test_tail_return_has_no_fin_flag(self):
+        prog = compile_program(
+            "class A { int m() { return 3; } }", want_entry=False
+        )
+        cmds = commands_of(prog, "A.m")
+        assert [str(c) for c in cmds] == [f"{RET_VAR} := 3"]
+
+    def test_early_return_uses_fin_flag(self):
+        prog = compile_program(
+            "class A { int m(int x) { if (x < 0) { return 0; } int y = x; return y; } }",
+            want_entry=False,
+        )
+        cmds = commands_of(prog, "A.m")
+        fin_writes = [
+            c
+            for c in cmds
+            if isinstance(c, ins.Assign) and c.lhs == FIN_VAR
+        ]
+        assert len(fin_writes) >= 2  # prologue reset + set on early return
+
+    def test_break_lowered_with_flag(self):
+        prog = compile_program(
+            "class A { void m(int n) { int i = 0;"
+            " while (i < n) { if (i == 3) { break; } i = i + 1; } } }",
+            want_entry=False,
+        )
+        cmds = commands_of(prog, "A.m")
+        brk_writes = [
+            c for c in cmds if isinstance(c, ins.Assign) and c.lhs.startswith("$brk")
+        ]
+        assert brk_writes
+
+    def test_continue_lowered_with_flag(self):
+        prog = compile_program(
+            "class A { void m(int n) { int i = 0;"
+            " while (i < n) { i = i + 1; if (i == 2) { continue; } int j = i; } } }",
+            want_entry=False,
+        )
+        cmds = commands_of(prog, "A.m")
+        cnt_writes = [
+            c for c in cmds if isinstance(c, ins.Assign) and c.lhs.startswith("$cnt")
+        ]
+        assert cnt_writes
+
+    def test_local_shadowing_renamed(self):
+        prog = compile_program(
+            "class A { void m() { if (true) { int x = 1; } if (true) { int x = 2; } } }",
+            want_entry=False,
+        )
+        assigns = [
+            c.lhs
+            for c in commands_of(prog, "A.m")
+            if isinstance(c, ins.Assign) and not c.lhs.startswith("$")
+        ]
+        assert len(set(assigns)) == 2
+
+
+class TestSynthesis:
+    def test_every_class_gets_ctor(self):
+        prog = compile_program("class A { }", want_entry=False)
+        assert f"A.{INIT}" in prog.methods
+        assert f"Object.{INIT}" in prog.methods
+        assert f"String.{INIT}" in prog.methods
+
+    def test_ctor_calls_super_then_field_inits(self):
+        prog = compile_program(
+            "class B { } class A extends B { A f = new A(); }", want_entry=False
+        )
+        cmds = commands_of(prog, f"A.{INIT}")
+        assert isinstance(cmds[0], ins.Invoke) and cmds[0].decl_class == "B"
+        assert any(isinstance(c, ins.FieldWrite) for c in cmds)
+
+    def test_explicit_super_call_used(self):
+        prog = compile_program(
+            "class Ctx { } class B { Ctx c; B(Ctx c) { this.c = c; } }"
+            " class A extends B { A(Ctx c) { super(c); } }",
+            want_entry=False,
+        )
+        cmds = commands_of(prog, f"A.{INIT}")
+        supers = [c for c in cmds if isinstance(c, ins.Invoke) and c.kind == "special"]
+        assert supers and supers[0].decl_class == "B"
+        assert len(supers[0].args) == 1
+
+    def test_missing_explicit_super_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_program(
+                "class Ctx { } class B { B(Ctx c) { } } class A extends B { A() { } }",
+                want_entry=False,
+            )
+
+    def test_super_not_first_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_program(
+                "class B { B() { } } class A extends B {"
+                " A() { int x = 1; super(); } }",
+                want_entry=False,
+            )
+
+    def test_clinit_synthesized_for_static_inits(self):
+        prog = compile_program(
+            "class A { static Object x = new Object(); }", want_entry=False
+        )
+        assert f"A.{CLINIT}" in prog.methods
+        cmds = commands_of(prog, f"A.{CLINIT}")
+        assert any(isinstance(c, ins.StaticWrite) for c in cmds)
+
+    def test_entry_calls_clinits_then_main(self):
+        prog = compile_program(
+            "class A { static Object x = new Object();"
+            " static void main() { } }"
+        )
+        assert prog.entry == ENTRY_METHOD
+        cmds = commands_of(prog, ENTRY_METHOD)
+        assert cmds[0].method_name == CLINIT
+        assert cmds[-1].method_name == "main"
+
+    def test_no_main_no_entry(self):
+        prog = compile_program("class A { }")
+        assert prog.entry is None
+
+    def test_labels_unique_and_registered(self):
+        prog = compile_program(
+            "class A { static void main() { int x = 1; if (x < 2) { x = 2; } } }"
+        )
+        labels = [c.label for _, c in prog.all_commands()]
+        assert len(labels) == len(set(labels))
+        for label in labels:
+            assert prog.commands[label] is not None
+            assert prog.method_of_label(label) is not None
+
+    def test_alloc_sites_registered_with_hints(self):
+        prog = compile_program(
+            "class Vec { } class A { void m() {"
+            ' Vec v = new Vec(); Object[] a = new Object[1]; Object s = "x"; } }',
+            want_entry=False,
+        )
+        hints = [site.hint for site in prog.alloc_sites]
+        assert "vec0" in hints
+        assert "arr0" in hints
+        assert "str0" in hints
+
+    def test_stats(self):
+        prog = compile_program(
+            "class A { static void main() { int i = 0; while (i < 3) { i = i + 1; } } }"
+        )
+        stats = prog.stats()
+        assert stats["loops"] == 1
+        assert stats["methods"] >= 4

@@ -1,0 +1,186 @@
+"""Golden tests: exact IR shape for representative lowerings.
+
+These lock the builder's desugarings (the paper's `if`/`while` encodings,
+interrupt flags, constructor synthesis) against accidental drift.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.ir import compile_program, print_method
+
+
+def ir_of(source, qname):
+    program = compile_program(source, want_entry=False)
+    return print_method(program.methods[qname]).strip()
+
+
+def golden(text):
+    return textwrap.dedent(text).strip()
+
+
+def test_if_else_lowering():
+    actual = ir_of(
+        "class A { void m(int x) { if (x < 3) { x = 1; } else { x = 2; } } }",
+        "A.m",
+    )
+    assert actual == golden(
+        """
+        method A.m(this, x):
+          choice
+            [] branch 0:
+              assume (x < 3)
+              x := 1
+            [] branch 1:
+              assume !((x < 3))
+              x := 2
+        """
+    )
+
+
+def test_while_lowering():
+    actual = ir_of(
+        "class A { void m(int n) { int i = 0; while (i < n) { i = i + 1; } } }",
+        "A.m",
+    )
+    assert actual == golden(
+        """
+        method A.m(this, n):
+          i := 0
+          loop
+            assume (i < n)
+            $t0 := i + 1
+            i := $t0
+          assume !((i < n))
+        """
+    )
+
+
+def test_early_return_lowering():
+    actual = ir_of(
+        "class A { int m(int x) { if (x < 0) { return 0; } return x; } }",
+        "A.m",
+    )
+    assert actual == golden(
+        """
+        method A.m(this, x):
+          $fin := false
+          choice
+            [] branch 0:
+              assume (x < 0)
+              $ret := 0
+              $fin := true
+            [] branch 1:
+              assume !((x < 0))
+          choice
+            [] branch 0:
+              assume !($fin)
+              $ret := x
+              $fin := true
+            [] branch 1:
+              assume $fin
+        """
+    )
+
+
+def test_constructor_synthesis():
+    actual = ir_of(
+        "class B { } class A extends B { Object f = new Object(); A() { int x = 1; } }",
+        "A.<init>",
+    )
+    assert actual == golden(
+        """
+        method A.<init>(this):
+          this.<init>()
+          $t0 := new_object0 Object
+          $t0.<init>()
+          this.f := $t0
+          x := 1
+        """
+    )
+
+
+def test_field_write_chain_lowering():
+    actual = ir_of(
+        "class A { A next; Object v; void m() { this.next.v = this.next; } }",
+        "A.m",
+    )
+    assert actual == golden(
+        """
+        method A.m(this):
+          $t0 := this.next
+          $t1 := this.next
+          $t0.v := $t1
+        """
+    )
+
+
+def test_assert_lowering():
+    actual = ir_of("class A { void m(int x) { assert x == 1; } }", "A.m")
+    assert actual == golden(
+        """
+        method A.m(this, x):
+          choice
+            [] branch 0:
+              assume (x == 1)
+            [] branch 1:
+              assume !((x == 1))
+              $t0 := new_object0 Object
+              throw $t0
+        """
+    )
+
+
+def test_break_lowering():
+    actual = ir_of(
+        "class A { void m(int n) { while (true) { if (n == 0) { break; } n = n - 1; } } }",
+        "A.m",
+    )
+    assert actual == golden(
+        """
+        method A.m(this, n):
+          $brk0 := false
+          loop
+            assume !($brk0)
+            assume true
+            choice
+              [] branch 0:
+                assume (n == 0)
+                $brk0 := true
+              [] branch 1:
+                assume !((n == 0))
+            choice
+              [] branch 0:
+                assume !($brk0)
+                $t0 := n - 1
+                n := $t0
+              [] branch 1:
+                assume $brk0
+          choice
+            [] branch 0:
+              assume !($brk0)
+              assume !(true)
+            [] branch 1:
+              assume $brk0
+          $brk0 := false
+        """
+    )
+
+
+def test_short_circuit_guard_stays_symbolic():
+    actual = ir_of(
+        "class A { void m(int x, int y) { if (x < 1 && y < 2) { x = 0; } } }",
+        "A.m",
+    )
+    assert actual == golden(
+        """
+        method A.m(this, x, y):
+          choice
+            [] branch 0:
+              assume ((x < 1) && (y < 2))
+              x := 0
+            [] branch 1:
+              assume !(((x < 1) && (y < 2)))
+        """
+    )

@@ -1,0 +1,86 @@
+"""Unit tests for the mini-Java lexer."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)][:-1]  # drop EOF
+
+
+def test_empty_source_yields_only_eof():
+    toks = tokenize("")
+    assert len(toks) == 1
+    assert toks[0].kind == "eof"
+
+
+def test_identifiers_and_keywords():
+    assert kinds("class Foo extends Bar") == [
+        ("keyword", "class"),
+        ("ident", "Foo"),
+        ("keyword", "extends"),
+        ("ident", "Bar"),
+    ]
+
+
+def test_integer_literal():
+    assert kinds("42") == [("int", "42")]
+
+
+def test_multi_char_operators_win_over_prefixes():
+    assert kinds("a<=b") == [("ident", "a"), ("op", "<="), ("ident", "b")]
+    assert kinds("a==b") == [("ident", "a"), ("op", "=="), ("ident", "b")]
+    assert kinds("a=b") == [("ident", "a"), ("op", "="), ("ident", "b")]
+    assert kinds("i++") == [("ident", "i"), ("op", "++")]
+
+
+def test_string_literal_contents_unquoted():
+    assert kinds('"hello"') == [("string", "hello")]
+
+
+def test_string_escape_sequences():
+    assert kinds(r'"a\nb\"c"') == [("string", 'a\nb"c')]
+
+
+def test_line_comment_skipped():
+    assert kinds("a // comment here\nb") == [("ident", "a"), ("ident", "b")]
+
+
+def test_block_comment_skipped():
+    assert kinds("a /* multi\nline */ b") == [("ident", "a"), ("ident", "b")]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("/* never closed")
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize('"never closed')
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexError):
+        tokenize("a # b")
+
+
+def test_positions_track_lines_and_columns():
+    toks = tokenize("a\n  b")
+    assert (toks[0].pos.line, toks[0].pos.column) == (1, 1)
+    assert (toks[1].pos.line, toks[1].pos.column) == (2, 3)
+
+
+def test_dollar_and_underscore_in_identifiers():
+    assert kinds("$ret _x") == [("ident", "$ret"), ("ident", "_x")]
+
+
+def test_java_snippet_token_stream():
+    src = "if (this.sz >= this.cap) { this.tbl[i] = val; }"
+    texts = [t.text for t in tokenize(src)][:-1]
+    assert texts == [
+        "if", "(", "this", ".", "sz", ">=", "this", ".", "cap", ")",
+        "{", "this", ".", "tbl", "[", "i", "]", "=", "val", ";", "}",
+    ]

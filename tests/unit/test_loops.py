@@ -1,0 +1,168 @@
+"""Unit tests for the loop-invariant inference (Section 3.3)."""
+
+import pytest
+
+from repro.ir import compile_program
+from repro.ir.stmts import Loop, walk_statements
+from repro.pointsto import analyze
+from repro.solver import LinExpr, eq, lt
+from repro.symbolic import Engine, LoopInference, Query, SearchConfig
+from repro.symbolic.loops import saturate, unstable_vars
+
+
+def setup(source, **config_kwargs):
+    program = compile_program(source)
+    pta = analyze(program)
+    engine = Engine(pta, SearchConfig(**config_kwargs))
+    return program, pta, engine
+
+
+def the_loop(program, qname):
+    loops = [
+        s
+        for s in walk_statements(program.methods[qname].body)
+        if isinstance(s, Loop)
+    ]
+    assert len(loops) == 1
+    return loops[0]
+
+
+COUNTING = (
+    "class Box { Object v; } class M { static void main() {"
+    " Box b = new Box();"
+    " int i = 0;"
+    " while (i < 5) { i = i + 1; }"
+    " b.v = new Object(); } }"
+)
+
+
+class TestSaturation:
+    def test_irrelevant_loop_is_identity(self):
+        # WIT-LOOP's degenerate case: the loop body cannot touch the query.
+        program, pta, engine = setup(COUNTING)
+        loop = the_loop(program, "M.main")
+        q = Query("M.main")
+        v = q.new_ref(pta.pt_local("M.main", "b"))
+        q.set_local("b", v)
+        invariant = saturate(engine, loop, q)
+        assert len(invariant) == 1
+        assert invariant[0].get_local("b") is not None
+
+    def test_loop_modified_pure_constraints_dropped(self):
+        program, pta, engine = setup(COUNTING)
+        loop = the_loop(program, "M.main")
+        q = Query("M.main")
+        d = q.new_data()
+        q.set_local("i", d)  # i is written by the loop
+        q.add_pure(eq(LinExpr.var(d), LinExpr.constant(5)))
+        invariant = saturate(engine, loop, q)
+        # The i == 5 fact cannot be invariant; it must be gone everywhere.
+        for inv in invariant:
+            assert all(
+                inv.find(d) not in {inv.find(x) for x in atom.vars()}
+                for atom, _ in inv.pure
+                for x in atom.vars()
+            ) or not inv.pure
+
+    def test_stable_constraints_survive(self):
+        program, pta, engine = setup(COUNTING)
+        loop = the_loop(program, "M.main")
+        q = Query("M.main")
+        d = q.new_data()
+        q.set_local("unrelated", d)
+        q.add_pure(eq(LinExpr.var(d), LinExpr.constant(3)))
+        invariant = saturate(engine, loop, q)
+        assert any(inv.pure for inv in invariant)
+
+    def test_fixpoint_over_heap_writing_loop(self):
+        source = (
+            "class Box { Object v; } class M { static void main() {"
+            " Box b = new Box(); int i = 0;"
+            " while (i < 3) { b.v = new Object(); i = i + 1; } } }"
+        )
+        program, pta, engine = setup(source)
+        loop = the_loop(program, "M.main")
+        q = Query("M.main")
+        base = q.new_ref(pta.pt_local("M.main", "b"))
+        value = q.new_ref(pta.pt_local("M.main", "b"))  # wrong region: Box
+        q.set_field(base, "v", value)
+        # value's region {box0} conflicts with what the loop writes
+        # ({object0}); the produced case refutes, the not-produced case and
+        # the 0-iteration case survive saturation.
+        invariant = saturate(engine, loop, q)
+        assert invariant  # terminates with a nonempty set
+
+    def test_drop_all_mode_clears_affected_cells(self):
+        source = (
+            "class Box { Object v; } class M { static void main() {"
+            " Box b = new Box(); int i = 0;"
+            " while (i < 3) { b.v = new Object(); i = i + 1; } } }"
+        )
+        program, pta, engine = setup(source, loop_inference=LoopInference.DROP_ALL)
+        loop = the_loop(program, "M.main")
+        q = Query("M.main")
+        base = q.new_ref(pta.pt_local("M.main", "b"))
+        value = q.new_ref(None)
+        q.set_field(base, "v", value)
+        invariant = saturate(engine, loop, q)
+        assert len(invariant) == 1
+        assert not invariant[0].field_cells  # dropped wholesale
+
+    def test_nested_loop_saturation_terminates(self):
+        source = (
+            "class M { static void main() {"
+            " int i = 0; int s = 0;"
+            " while (i < 3) {"
+            "   int j = 0;"
+            "   while (j < 3) { s = s + 1; j = j + 1; }"
+            "   i = i + 1; } } }"
+        )
+        program, pta, engine = setup(source)
+        outer = [
+            s
+            for s in walk_statements(program.methods["M.main"].body)
+            if isinstance(s, Loop)
+        ][0]
+        q = Query("M.main")
+        d = q.new_data()
+        q.set_local("s", d)
+        q.add_pure(lt(LinExpr.var(d), LinExpr.constant(100)))
+        invariant = saturate(engine, outer, q)
+        assert invariant
+
+
+class TestUnstableVars:
+    def test_detects_local_values(self):
+        program, pta, engine = setup(COUNTING)
+        loop = the_loop(program, "M.main")
+        mod = pta.modref.statement_mod(loop.body)
+        q = Query("M.main")
+        d = q.new_data()
+        q.set_local("i", d)
+        assert q.find(d) in unstable_vars(q, mod)
+
+    def test_field_values_of_written_fields(self):
+        source = (
+            "class Box { Object v; } class M { static void main() {"
+            " Box b = new Box(); int i = 0;"
+            " while (i < 3) { b.v = new Object(); i = i + 1; } } }"
+        )
+        program, pta, engine = setup(source)
+        loop = the_loop(program, "M.main")
+        mod = pta.modref.statement_mod(loop.body)
+        q = Query("M.main")
+        base = q.new_ref(None)
+        value = q.new_ref(None)
+        q.set_field(base, "v", value)
+        unstable = unstable_vars(q, mod)
+        assert q.find(value) in unstable
+        assert q.find(base) not in unstable  # bases are identities, stable
+
+    def test_untouched_statics_stable(self):
+        program, pta, engine = setup(COUNTING)
+        loop = the_loop(program, "M.main")
+        mod = pta.modref.statement_mod(loop.body)
+        q = Query("M.main")
+        v = q.new_ref(None)
+        q.set_static("M", "whatever", v)
+        assert q.find(v) not in unstable_vars(q, mod)

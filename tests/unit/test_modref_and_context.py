@@ -1,0 +1,118 @@
+"""Dedicated tests for mod/ref summaries and context-policy mechanics."""
+
+import pytest
+
+from repro.ir import compile_program
+from repro.ir.instructions import AllocSite
+from repro.ir.stmts import Loop, walk_statements
+from repro.pointsto import (
+    CallSiteSensitive,
+    ContainerSensitive,
+    ContextInsensitive,
+    ObjectSensitive,
+    analyze,
+)
+from repro.pointsto.graph import AbsLoc
+
+
+def pta_of(source):
+    return analyze(compile_program(source))
+
+
+class TestModRefDetails:
+    def test_alloc_sites_tracked_transitively(self):
+        pta = pta_of(
+            "class M { static Object deep() { return new Object(); }"
+            " static Object shallow() { return M.deep(); }"
+            " static void main() { Object o = M.shallow(); } }"
+        )
+        mod = pta.modref.method_mod("M.shallow")
+        assert any(site.class_name == "Object" for site in mod.alloc_sites)
+
+    def test_string_literal_is_an_alloc_site(self):
+        pta = pta_of(
+            'class M { static Object s() { return "hi"; }'
+            " static void main() { Object o = M.s(); } }"
+        )
+        mod = pta.modref.method_mod("M.s")
+        assert any(site.kind == "string" for site in mod.alloc_sites)
+
+    def test_statement_mod_of_loop_body(self):
+        pta = pta_of(
+            "class Box { Object v; } class M { static void main() {"
+            " Box b = new Box(); int i = 0;"
+            " while (i < 3) { b.v = new Object(); i = i + 1; } } }"
+        )
+        loop = next(
+            s
+            for s in walk_statements(pta.program.methods["M.main"].body)
+            if isinstance(s, Loop)
+        )
+        mod = pta.modref.statement_mod(loop.body)
+        assert mod.writes_field("v")
+        assert "i" in mod.locals
+        assert not mod.writes_static("M", "anything")
+
+    def test_statement_mod_includes_callee_effects(self):
+        pta = pta_of(
+            "class Box { Object v; } class M {"
+            " static void poke(Box b) { b.v = null; }"
+            " static void main() { Box b = new Box(); int i = 0;"
+            " while (i < 2) { M.poke(b); i = i + 1; } } }"
+        )
+        loop = next(
+            s
+            for s in walk_statements(pta.program.methods["M.main"].body)
+            if isinstance(s, Loop)
+        )
+        assert pta.modref.statement_mod(loop.body).writes_field("v")
+
+    def test_unknown_method_mod_is_top(self):
+        pta = pta_of("class M { static void main() { } }")
+        mod = pta.modref.method_mod("Ghost.method")
+        assert mod.calls_unknown
+        assert mod.writes_field("anything")
+        assert mod.writes_static("Any", "thing")
+
+
+class TestContextPolicies:
+    def site(self, name="s"):
+        return AllocSite(1, "Vec", "M.m", hint=name)
+
+    def test_describe_strings(self):
+        assert ContextInsensitive().describe() == "0-CFA"
+        assert ObjectSensitive(2).describe() == "2-object-sensitive"
+        assert CallSiteSensitive(2).describe() == "2-CFA"
+        assert "Container" in ContainerSensitive({"Vec"}).describe()
+
+    def test_object_sensitive_truncates_chain(self):
+        policy = ObjectSensitive(1)
+        inner = AbsLoc(self.site("inner"), (self.site("outer"),))
+        ctx = policy.callee_context((), "Vec.push", "Vec", inner)
+        assert ctx == (inner.site,)
+
+    def test_object_sensitive_depth_two_keeps_chain(self):
+        policy = ObjectSensitive(2)
+        inner = AbsLoc(self.site("inner"), (self.site("outer"),))
+        ctx = policy.callee_context((), "Vec.push", "Vec", inner)
+        assert len(ctx) == 2
+
+    def test_heap_context_truncation(self):
+        policy = ObjectSensitive(1)
+        long_ctx = (self.site("a"), self.site("b"), self.site("c"))
+        assert policy.heap_context(long_ctx, self.site("x")) == (long_ctx[0],)
+
+    def test_container_policy_static_methods_insensitive(self):
+        policy = ContainerSensitive({"Vec"})
+        assert policy.callee_context((), "Vec.helper", "Vec", None) == ()
+
+    def test_kcfa_appends_and_truncates(self):
+        policy = CallSiteSensitive(2)
+        ctx = policy.callee_context((10, 20), "C.m", "C", None, call_label=30)
+        assert ctx == (20, 30)
+
+    def test_invalid_depths_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectSensitive(0)
+        with pytest.raises(ValueError):
+            CallSiteSensitive(0)

@@ -1,0 +1,252 @@
+"""Unit tests for the mini-Java parser."""
+
+import pytest
+
+from repro.lang import ast, parse_program
+from repro.lang.errors import ParseError
+from repro.lang.pretty import pretty_program
+
+
+def parse_one_class(source):
+    unit = parse_program(source)
+    assert len(unit.classes) == 1
+    return unit.classes[0]
+
+
+def parse_stmts(body_source):
+    cls = parse_one_class("class C { void m() { %s } }" % body_source)
+    return cls.methods[0].body.stmts
+
+
+def parse_expr(expr_source):
+    stmts = parse_stmts(f"int x = {expr_source};")
+    assert isinstance(stmts[0], ast.LocalDecl)
+    return stmts[0].init
+
+
+class TestDeclarations:
+    def test_empty_class(self):
+        cls = parse_one_class("class Foo { }")
+        assert cls.name == "Foo"
+        assert cls.superclass is None
+        assert cls.fields == []
+        assert cls.methods == []
+
+    def test_extends(self):
+        cls = parse_one_class("class Act extends Activity { }")
+        assert cls.superclass == "Activity"
+
+    def test_field_with_modifiers_and_init(self):
+        cls = parse_one_class("class C { private static final Vec objs = new Vec(); }")
+        (fld,) = cls.fields
+        assert fld.name == "objs"
+        assert fld.is_static and fld.is_final
+        assert isinstance(fld.init, ast.NewObject)
+
+    def test_array_field_type(self):
+        cls = parse_one_class("class C { Object[] tbl; }")
+        assert cls.fields[0].decl_type == ast.ArrayType(ast.ClassType("Object"))
+
+    def test_method_signature(self):
+        cls = parse_one_class("class C { static int f(int a, boolean b) { return 0; } }")
+        (mth,) = cls.methods
+        assert mth.is_static
+        assert mth.ret_type == ast.INT
+        assert [p.name for p in mth.params] == ["a", "b"]
+
+    def test_constructor_recognized(self):
+        cls = parse_one_class("class Vec { Vec() { } }")
+        (mth,) = cls.methods
+        assert mth.is_constructor
+        assert mth.name == "<init>"
+
+    def test_void_method(self):
+        cls = parse_one_class("class C { void m() { } }")
+        assert cls.methods[0].ret_type == ast.VOID
+
+
+class TestStatements:
+    def test_local_decl_with_class_type(self):
+        (stmt,) = parse_stmts("Vec acts = new Vec();")
+        assert isinstance(stmt, ast.LocalDecl)
+        assert stmt.decl_type == ast.ClassType("Vec")
+
+    def test_local_decl_array_type(self):
+        (stmt,) = parse_stmts("Object[] oldtbl = null;")
+        assert isinstance(stmt, ast.LocalDecl)
+        assert stmt.decl_type == ast.ArrayType(ast.ClassType("Object"))
+
+    def test_assignment_vs_expr_stmt(self):
+        stmts = parse_stmts("x = y; x.m();")
+        assert isinstance(stmts[0], ast.AssignStmt)
+        assert isinstance(stmts[1], ast.ExprStmt)
+
+    def test_field_write(self):
+        (stmt,) = parse_stmts("this.sz = 0;")
+        assert isinstance(stmt, ast.AssignStmt)
+        assert isinstance(stmt.lhs, ast.FieldAccess)
+
+    def test_array_write(self):
+        (stmt,) = parse_stmts("this.tbl[i] = val;")
+        assert isinstance(stmt.lhs, ast.ArrayIndex)
+
+    def test_if_else(self):
+        (stmt,) = parse_stmts("if (a) { } else { b = c; }")
+        assert isinstance(stmt, ast.If)
+        assert stmt.orelse is not None
+
+    def test_dangling_else_binds_to_inner_if(self):
+        (stmt,) = parse_stmts("if (a) if (b) x = y; else x = z;")
+        assert isinstance(stmt, ast.If)
+        assert stmt.orelse is None
+        inner = stmt.then
+        assert isinstance(inner, ast.If)
+        assert inner.orelse is not None
+
+    def test_while(self):
+        (stmt,) = parse_stmts("while (i < n) { i = i + 1; }")
+        assert isinstance(stmt, ast.While)
+
+    def test_for_desugars_to_while(self):
+        (stmt,) = parse_stmts("for (int i = 0; i < n; i++) { sum = sum + i; }")
+        assert isinstance(stmt, ast.Block)
+        init, loop = stmt.stmts
+        assert isinstance(init, ast.LocalDecl)
+        assert isinstance(loop, ast.While)
+        body = loop.body
+        assert isinstance(body, ast.Block)
+        # Original body plus the update.
+        assert len(body.stmts) == 2
+        update = body.stmts[1]
+        assert isinstance(update, ast.AssignStmt)
+        assert isinstance(update.rhs, ast.Binary) and update.rhs.op == "+"
+
+    def test_increment_statement_desugars(self):
+        (stmt,) = parse_stmts("i++;")
+        assert isinstance(stmt, ast.AssignStmt)
+        assert isinstance(stmt.rhs, ast.Binary)
+
+    def test_compound_assignment_desugars(self):
+        (stmt,) = parse_stmts("i += 2;")
+        assert isinstance(stmt, ast.AssignStmt)
+        assert stmt.rhs.op == "+"
+
+    def test_return_with_and_without_value(self):
+        stmts = parse_stmts("return x; return;")
+        assert stmts[0].value is not None
+        assert stmts[1].value is None
+
+    def test_break_continue(self):
+        stmts = parse_stmts("while (true) { break; continue; }")
+        body = stmts[0].body
+        assert isinstance(body.stmts[0], ast.Break)
+        assert isinstance(body.stmts[1], ast.Continue)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("a + b * c")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_rel_over_and(self):
+        expr = parse_expr("a < b && c < d")
+        assert expr.op == "&&"
+        assert expr.left.op == "<"
+
+    def test_parens_override_precedence(self):
+        expr = parse_expr("(a + b) * c")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_not(self):
+        expr = parse_expr("!done")
+        assert isinstance(expr, ast.Unary)
+        assert expr.op == "!"
+
+    def test_chained_field_access(self):
+        expr = parse_expr("a.b.c")
+        assert isinstance(expr, ast.FieldAccess)
+        assert expr.name == "c"
+        assert isinstance(expr.target, ast.FieldAccess)
+
+    def test_method_call_with_args(self):
+        expr = parse_expr("acts.push(x, 1)")
+        assert isinstance(expr, ast.Call)
+        assert expr.name == "push"
+        assert len(expr.args) == 2
+
+    def test_bare_call(self):
+        expr = parse_expr("helper(x)")
+        assert isinstance(expr, ast.Call)
+        assert expr.target is None
+
+    def test_nondet_builtin(self):
+        expr = parse_expr("nondet()")
+        assert isinstance(expr, ast.NondetCall)
+
+    def test_new_object(self):
+        expr = parse_expr("new Vec()")
+        assert isinstance(expr, ast.NewObject)
+
+    def test_new_array(self):
+        expr = parse_expr("new Object[this.cap]")
+        assert isinstance(expr, ast.NewArray)
+        assert expr.elem_type == ast.ClassType("Object")
+
+    def test_array_length(self):
+        expr = parse_expr("tbl.length")
+        # Parsed as plain field access; the checker rewrites to ArrayLength.
+        assert isinstance(expr, ast.FieldAccess)
+
+    def test_super_call(self):
+        cls = parse_one_class("class C { C(Ctx c) { super(c); } }")
+        stmt = cls.methods[0].body.stmts[0]
+        assert isinstance(stmt, ast.ExprStmt)
+        assert isinstance(stmt.expr, ast.SuperCall)
+
+    def test_null_and_literals(self):
+        assert isinstance(parse_expr("null"), ast.NullLit)
+        assert parse_expr("true").value is True
+        assert parse_expr("17").value == 17
+        assert parse_expr('"hi"').value == "hi"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "class { }",
+            "class C",
+            "class C { void m( { } }",
+            "class C { void m() { x = ; } }",
+            "class C { void m() { if x { } } }",
+            "class C { int ; }",
+        ],
+    )
+    def test_malformed_inputs_raise(self, source):
+        with pytest.raises(ParseError):
+            parse_program(source)
+
+
+def test_pretty_round_trip():
+    source = """
+    class Vec {
+        static final Object[] EMPTY = new Object[1];
+        int sz;
+        Vec() { this.sz = 0; }
+        void push(Object val) {
+            Object[] oldtbl = this.tbl;
+            if (this.sz >= this.cap) {
+                this.tbl = new Object[this.cap];
+                for (int i = 0; i < this.sz; i++) { this.tbl[i] = oldtbl[i]; }
+            }
+            this.tbl[this.sz] = val;
+            this.sz = this.sz + 1;
+        }
+    }
+    """
+    unit1 = parse_program(source)
+    printed = pretty_program(unit1)
+    unit2 = parse_program(printed)
+    assert pretty_program(unit2) == printed

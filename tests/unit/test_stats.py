@@ -1,0 +1,38 @@
+"""Tests for search statistics bookkeeping."""
+
+from repro.pointsto.graph import HeapEdge, StaticFieldNode
+from repro.pointsto import AbsLoc
+from repro.ir.instructions import AllocSite
+from repro.symbolic.stats import (
+    REFUTED,
+    TIMEOUT,
+    WITNESSED,
+    EdgeResult,
+    SearchStats,
+)
+
+
+def make_edge():
+    site = AllocSite(0, "Object", "M.m", hint="object0")
+    return HeapEdge(StaticFieldNode("C", "f"), "f", AbsLoc(site))
+
+
+def test_status_predicates():
+    edge = make_edge()
+    assert EdgeResult(edge, REFUTED).refuted
+    assert EdgeResult(edge, WITNESSED).witnessed
+    assert EdgeResult(edge, TIMEOUT).timed_out
+    assert not EdgeResult(edge, REFUTED).witnessed
+
+
+def test_search_stats_aggregation():
+    stats = SearchStats()
+    edge = make_edge()
+    stats.record(EdgeResult(edge, REFUTED, path_programs=5, seconds=0.5))
+    stats.record(EdgeResult(edge, WITNESSED, path_programs=3, seconds=0.25))
+    stats.record(EdgeResult(edge, TIMEOUT, path_programs=100, seconds=2.0))
+    assert stats.edges_refuted == 1
+    assert stats.edges_witnessed == 1
+    assert stats.edges_timeout == 1
+    assert stats.path_programs == 108
+    assert abs(stats.seconds - 2.75) < 1e-9

@@ -1,0 +1,118 @@
+"""Tests for the may-complete-normally analysis and its use in refutation."""
+
+import pytest
+
+from repro.ir import compile_program
+from repro.pointsto import analyze
+from repro.symbolic import Engine
+from repro.symbolic.stats import REFUTED, WITNESSED
+
+
+def pta_of(source):
+    return analyze(compile_program(source))
+
+
+class TestNormalCompletion:
+    def test_plain_method_completes(self):
+        pta = pta_of("class M { static void h() { } static void main() { M.h(); } }")
+        assert pta.completion.may_complete("M.h")
+
+    def test_always_throwing_method(self):
+        pta = pta_of(
+            "class Err { } class M {"
+            " static void boom() { throw new Err(); }"
+            " static void main() { M.boom(); } }"
+        )
+        assert not pta.completion.may_complete("M.boom")
+
+    def test_conditional_throw_may_complete(self):
+        pta = pta_of(
+            "class Err { } class M {"
+            " static void maybe(int x) { if (x == 1) { throw new Err(); } }"
+            " static void main() { M.maybe(0); } }"
+        )
+        assert pta.completion.may_complete("M.maybe")
+
+    def test_transitive_non_completion(self):
+        pta = pta_of(
+            "class Err { } class M {"
+            " static void boom() { throw new Err(); }"
+            " static void indirect() { M.boom(); }"
+            " static void main() { M.indirect(); } }"
+        )
+        assert not pta.completion.may_complete("M.indirect")
+
+    def test_throw_inside_loop_still_completes(self):
+        # The loop may run zero iterations.
+        pta = pta_of(
+            "class Err { } class M {"
+            " static void f(int n) {"
+            "   int i = 0;"
+            "   while (i < n) { throw new Err(); } }"
+            " static void main() { M.f(0); } }"
+        )
+        assert pta.completion.may_complete("M.f")
+
+    def test_one_completing_branch_suffices(self):
+        pta = pta_of(
+            "class Err { } class M {"
+            " static void f(int x) {"
+            "   if (x == 1) { throw new Err(); } else { int y = 0; } }"
+            " static void main() { M.f(0); } }"
+        )
+        assert pta.completion.may_complete("M.f")
+
+    def test_mutual_recursion_that_never_completes(self):
+        pta = pta_of(
+            "class Err { } class M {"
+            " static void a(int n) { M.b(n); }"
+            " static void b(int n) { M.a(n); }"
+            " static void main() { M.a(1); } }"
+        )
+        # Neither can ever fall through... but nothing throws either; the
+        # greatest-fixpoint answer must stay True (they simply diverge, and
+        # divergence is not provable non-completion here).
+        assert pta.completion.may_complete("M.a")
+
+    def test_unresolved_call_conservative(self):
+        pta = pta_of("class M { static void main() { } }")
+        assert pta.completion.call_may_complete(123_456)  # unknown label
+
+
+class TestRefutationThroughThrowingCalls:
+    def test_store_after_throwing_call_refuted(self):
+        pta = pta_of(
+            "class Err { } class Box { Object v; } class M {"
+            " static void boom() { throw new Err(); }"
+            " static void main() {"
+            "   Box b = new Box(); Object o = new Object();"
+            "   M.boom();"
+            "   b.v = o; } }"
+        )
+        edges = [e for e in pta.graph.heap_edges() if e.field == "v"]
+        assert edges
+        assert Engine(pta).refute_edge(edges[0]).status == REFUTED
+
+    def test_store_before_throwing_call_witnessed(self):
+        pta = pta_of(
+            "class Err { } class Box { Object v; } class M {"
+            " static void boom() { throw new Err(); }"
+            " static void main() {"
+            "   Box b = new Box(); Object o = new Object();"
+            "   b.v = o;"
+            "   M.boom(); } }"
+        )
+        edges = [e for e in pta.graph.heap_edges() if e.field == "v"]
+        assert Engine(pta).refute_edge(edges[0]).status == WITNESSED
+
+    def test_conditionally_throwing_call_does_not_refute(self):
+        pta = pta_of(
+            "class Err { } class Box { Object v; } class M {"
+            " static void maybe(int x) { if (x == 1) { throw new Err(); } }"
+            " static void main() {"
+            "   Box b = new Box(); Object o = new Object();"
+            "   M.maybe(0);"
+            "   b.v = o; } }"
+        )
+        edges = [e for e in pta.graph.heap_edges() if e.field == "v"]
+        assert Engine(pta).refute_edge(edges[0]).status == WITNESSED

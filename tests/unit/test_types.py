@@ -1,0 +1,245 @@
+"""Unit tests for the type checker and class table."""
+
+import pytest
+
+from repro.lang import ast, frontend, parse_program
+from repro.lang.errors import TypeCheckError
+from repro.lang.types import check_program
+
+
+def check(source):
+    return frontend(source)
+
+
+class TestClassTable:
+    def test_builtin_classes_present(self):
+        prog = check("class A { }")
+        assert "Object" in prog.table
+        assert "String" in prog.table
+
+    def test_default_superclass_is_object(self):
+        prog = check("class A { }")
+        assert prog.table.get("A").superclass == "Object"
+
+    def test_subclass_relation(self):
+        prog = check("class A { } class B extends A { } class C extends B { }")
+        assert prog.table.is_subclass("C", "A")
+        assert prog.table.is_subclass("C", "Object")
+        assert not prog.table.is_subclass("A", "C")
+
+    def test_subclasses_enumeration(self):
+        prog = check("class A { } class B extends A { } class C { }")
+        assert set(prog.table.subclasses("A")) == {"A", "B"}
+
+    def test_field_lookup_walks_hierarchy(self):
+        prog = check("class A { int x; } class B extends A { }")
+        fld = prog.table.lookup_field("B", "x")
+        assert fld is not None and fld.decl_class == "A"
+
+    def test_method_lookup_prefers_override(self):
+        prog = check(
+            "class A { void m() { } } class B extends A { void m() { } }"
+        )
+        assert prog.table.lookup_method("B", "m").decl_class == "B"
+        assert prog.table.lookup_method("A", "m").decl_class == "A"
+
+    def test_unknown_superclass_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("class A extends Nope { }")
+
+    def test_inheritance_cycle_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("class A extends B { } class B extends A { }")
+
+    def test_duplicate_class_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("class A { } class A { }")
+
+    def test_overloading_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("class A { void m() { } void m(int x) { } }")
+
+
+class TestResolution:
+    def test_bare_name_resolves_to_local(self):
+        prog = check("class A { void m() { int x = 0; int y = x; } }")
+        body = prog.table.get("A").methods["m"].body
+        init = body.stmts[1].init
+        assert isinstance(init, ast.VarRef)
+
+    def test_bare_name_resolves_to_instance_field(self):
+        prog = check("class A { int f; void m() { int y = f; } }")
+        init = prog.table.get("A").methods["m"].body.stmts[0].init
+        assert isinstance(init, ast.FieldAccess)
+        assert isinstance(init.target, ast.ThisRef)
+
+    def test_bare_name_resolves_to_static_field(self):
+        prog = check("class A { static int f; void m() { int y = f; } }")
+        init = prog.table.get("A").methods["m"].body.stmts[0].init
+        assert isinstance(init, ast.FieldAccess)
+        assert init.is_static
+
+    def test_static_field_through_class_name(self):
+        prog = check(
+            "class A { static int f; } class B { void m() { int y = A.f; } }"
+        )
+        init = prog.table.get("B").methods["m"].body.stmts[0].init
+        assert init.is_static and init.decl_class == "A"
+
+    def test_array_length_rewritten(self):
+        prog = check("class A { void m(int[] xs) { int n = xs.length; } }")
+        init = prog.table.get("A").methods["m"].body.stmts[0].init
+        assert isinstance(init, ast.ArrayLength)
+
+    def test_unqualified_call_gets_this_target(self):
+        prog = check("class A { void h() { } void m() { h(); } }")
+        call = prog.table.get("A").methods["m"].body.stmts[0].expr
+        assert isinstance(call.target, ast.ThisRef)
+
+    def test_unresolved_name_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("class A { void m() { int y = nope; } }")
+
+
+class TestTypeRules:
+    def test_int_arith_ok(self):
+        check("class A { void m() { int x = 1 + 2 * 3; } }")
+
+    def test_bool_arith_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("class A { void m() { int x = true + 1; } }")
+
+    def test_condition_must_be_boolean(self):
+        with pytest.raises(TypeCheckError):
+            check("class A { void m() { if (1) { } } }")
+
+    def test_null_assignable_to_reference(self):
+        check("class A { void m() { A x = null; } }")
+
+    def test_null_not_assignable_to_int(self):
+        with pytest.raises(TypeCheckError):
+            check("class A { void m() { int x = null; } }")
+
+    def test_subclass_assignable_to_superclass(self):
+        check("class A { } class B extends A { void m() { A x = new B(); } }")
+
+    def test_superclass_not_assignable_to_subclass(self):
+        with pytest.raises(TypeCheckError):
+            check("class A { } class B extends A { void m() { B x = new A(); } }")
+
+    def test_array_covariance(self):
+        check(
+            "class A { } class B extends A {"
+            " void m() { A[] xs = new B[3]; Object o = xs; } }"
+        )
+
+    def test_reference_equality_ok(self):
+        check("class A { void m(A a, A b) { boolean e = a == b; } }")
+
+    def test_ref_vs_int_equality_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("class A { void m(A a) { boolean e = a == 1; } }")
+
+    def test_call_arity_checked(self):
+        with pytest.raises(TypeCheckError):
+            check("class A { void h(int x) { } void m() { h(); } }")
+
+    def test_call_arg_type_checked(self):
+        with pytest.raises(TypeCheckError):
+            check("class A { void h(int x) { } void m() { h(true); } }")
+
+    def test_return_type_checked(self):
+        with pytest.raises(TypeCheckError):
+            check("class A { int m() { return true; } }")
+
+    def test_void_return_with_value_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("class A { void m() { return 1; } }")
+
+    def test_this_in_static_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("class A { int f; static void m() { int x = this.f; } }")
+
+    def test_instance_call_from_static_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("class A { void h() { } static void m() { h(); } }")
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("class A { void m() { break; } }")
+
+    def test_final_field_assignment_outside_ctor_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("class A { final int f; void m() { this.f = 1; } }")
+
+    def test_final_field_assignment_in_ctor_ok(self):
+        check("class A { final int f; A() { this.f = 1; } }")
+
+    def test_super_call_checks_ctor_args(self):
+        check(
+            "class Ctx { } class Base { Base(Ctx c) { } }"
+            " class D extends Base { D(Ctx c) { super(c); } }"
+        )
+        with pytest.raises(TypeCheckError):
+            check(
+                "class Ctx { } class Base { Base(Ctx c) { } }"
+                " class D extends Base { D() { super(); } }"
+            )
+
+    def test_string_literal_has_string_type(self):
+        prog = check('class A { void m() { Object o = "hello"; } }')
+        init = prog.table.get("A").methods["m"].body.stmts[0].init
+        assert init.type == ast.STRING
+
+    def test_figure1_program_typechecks(self):
+        # The running example of the paper (Figure 1), in mini-Java.
+        check(FIGURE1)
+
+
+FIGURE1 = """
+class Activity { }
+class Main {
+    static void main() {
+        Act a = new Act();
+        a.onCreate();
+    }
+}
+class Act extends Activity {
+    static Vec objs;
+    void onCreate() {
+        Vec acts = new Vec();
+        acts.push(this);
+        Act.objs = new Vec();
+        Act.objs.push("hello");
+    }
+}
+class Vec {
+    static final Object[] EMPTY = new Object[1];
+    int sz;
+    int cap;
+    Object[] tbl;
+    Vec() {
+        this.sz = 0;
+        this.cap = 0 - 1;
+        this.tbl = Vec.EMPTY;
+    }
+    void push(Object val) {
+        Object[] oldtbl = this.tbl;
+        if (this.sz >= this.cap) {
+            this.cap = this.tbl.length * 2;
+            this.tbl = new Object[this.cap];
+            for (int i = 0; i < this.sz; i++) {
+                this.tbl[i] = oldtbl[i];
+            }
+        }
+        this.tbl[this.sz] = val;
+        this.sz = this.sz + 1;
+    }
+}
+"""
+
+
+def test_checker_is_idempotent_on_checked_tree():
+    unit = parse_program("class A { int f; void m() { int y = f; } }")
+    check_program(unit)
+    check_program(unit)  # resolving twice must not fail
