@@ -74,3 +74,26 @@ def test_container_replication_scaling(benchmark, tables, n):
             f" edgesR={report.edges_refuted} T={report.seconds:.2f}s",
         )
     )
+
+
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+def test_parallel_driver_scaling(benchmark, tables, jobs):
+    """The parallel refutation driver: same verdicts at every worker
+    count, wall-clock characterized per ``jobs`` (edge refutations are
+    independent, so the work units schedule freely)."""
+    source = container_app(4)
+
+    def run():
+        return LeakChecker(source, f"par{jobs}", jobs=jobs).run()
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.refuted_alarms == report.num_alarms
+    assert report.run_report is not None
+    tables.extra_sections.append(
+        (
+            f"scaling_jobs_{jobs}",
+            f"jobs={jobs}: edges={len(report.run_report.records)}"
+            f" busy={report.run_report.busy_seconds:.2f}s"
+            f" wall={report.seconds:.2f}s",
+        )
+    )

@@ -11,6 +11,8 @@ The public API, bottom-up:
 * :mod:`repro.symbolic` — the witness-refutation engine (the paper's
   contribution): mixed symbolic-explicit queries, backwards transfer
   functions, loop-invariant inference, interprocedural path search;
+* :mod:`repro.engine` — the parallel refutation driver: worker pools,
+  per-edge wall-clock deadlines, structured run reports, progress events;
 * :mod:`repro.android` — the Activity-leak client;
 * :mod:`repro.bench`, :mod:`repro.reporting` — the evaluation.
 
@@ -25,6 +27,7 @@ Quickstart::
 """
 
 from .android import LeakChecker, LeakReport, check_app
+from .engine import ProgressPrinter, RefutationDriver, RunReport
 from .ir import Interpreter, build_program, compile_program
 from .lang import frontend, parse_program
 from .pointsto import (
@@ -61,5 +64,8 @@ __all__ = [
     "LoopInference",
     "Representation",
     "SearchConfig",
+    "RefutationDriver",
+    "RunReport",
+    "ProgressPrinter",
     "__version__",
 ]

@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
+from ..engine import RefutationDriver, RunReport
 from ..ir import build_program
 from ..lang import frontend
 from ..pointsto import (
@@ -33,8 +34,8 @@ from ..pointsto import (
     find_heap_path,
 )
 from ..pointsto.graph import AbsLoc
-from ..symbolic import Engine, SearchConfig
-from ..symbolic.stats import REFUTED, TIMEOUT, WITNESSED, EdgeResult
+from ..symbolic import SearchConfig
+from ..symbolic.stats import REFUTED, TIMEOUT, WITNESSED
 from .harness import build_full_source
 from .library import CONTAINER_CLASSES, EMPTY_TABLE_ANNOTATIONS, library_class_names
 
@@ -65,6 +66,8 @@ class LeakReport:
     edge_results: dict = field(default_factory=dict)  # EdgeKey -> EdgeResult
     seconds: float = 0.0
     call_graph_commands: int = 0
+    #: Structured per-edge telemetry of the run (see repro.engine.report).
+    run_report: Optional[RunReport] = None
 
     # -- Table 1 columns ------------------------------------------------------
 
@@ -120,10 +123,13 @@ class LeakChecker:
         config: Optional[SearchConfig] = None,
         include_library: bool = True,
         target_class: str = "Activity",
+        jobs: int = 1,
+        deadline: Optional[float] = None,
+        driver: Optional[RefutationDriver] = None,
+        on_event: Optional[Callable[[object], None]] = None,
     ) -> None:
         self.app_name = app_name
         self.annotated = annotated
-        self.config = config or SearchConfig()
         self.target_class = target_class
         full_source = build_full_source(app_source, include_library)
         checked = frontend(full_source)
@@ -136,7 +142,17 @@ class LeakChecker:
             policy=policy,
             empty_statics=set(EMPTY_TABLE_ANNOTATIONS) if annotated else None,
         )
-        self.engine = Engine(self.pta, self.config)
+        self.driver = driver or RefutationDriver(
+            self.pta,
+            config or SearchConfig(),
+            jobs=jobs,
+            deadline=deadline,
+            on_event=on_event,
+        )
+        self.config = self.driver.config
+        #: The driver's serial engine — kept for direct use (e.g. witness
+        #: rendering); shares its result cache with the parallel workers.
+        self.engine = self.driver.engine
 
     # -- pipeline --------------------------------------------------------------
 
@@ -164,6 +180,11 @@ class LeakChecker:
             report.alarms.append(result)
         report.edge_results = self.engine.edge_results()
         report.seconds = time.perf_counter() - start
+        report.run_report = self.driver.build_report(
+            app=self.app_name, command="check"
+        )
+        report.run_report.wall_seconds = report.seconds
+        self.driver.close()
         return report
 
     def _check_alarm(
@@ -179,8 +200,11 @@ class LeakChecker:
             if path is None:
                 return AlarmResult(root, target, ALARM_REFUTED, None, examined)
             progressed = False
-            for edge in path:
-                result: EdgeResult = self.engine.refute_edge(edge)
+            # The driver refutes the path's edges — sequentially with early
+            # exit when jobs=1 (bit-identical to the seed loop), in
+            # parallel otherwise. Either way the loop below consumes the
+            # results in path order, so alarm verdicts are deterministic.
+            for edge, result in self.driver.refute_path(path):
                 examined += 1
                 if result.refuted:
                     refuted_edges.add(edge)
@@ -196,6 +220,10 @@ def check_app(
     app_name: str = "app",
     annotated: bool = False,
     config: Optional[SearchConfig] = None,
+    jobs: int = 1,
+    deadline: Optional[float] = None,
 ) -> LeakReport:
     """Convenience one-shot entry point."""
-    return LeakChecker(app_source, app_name, annotated, config).run()
+    return LeakChecker(
+        app_source, app_name, annotated, config, jobs=jobs, deadline=deadline
+    ).run()

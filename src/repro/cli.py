@@ -6,15 +6,67 @@ Subcommands::
     thresher graph APP.mj [--no-library]               dump the points-to graph
     thresher bench [--table1 | --table2] [--app NAME]  run the evaluation
     thresher witness APP.mj CLASS.FIELD                witness/refute one field
+    thresher casts APP.mj                              check every downcast
 
 ``APP.mj`` is a mini-Java source file (the app only; the Android library
 and the lifecycle harness are added automatically unless ``--no-library``).
+
+The refutation subcommands (``check``, ``witness``, ``casts``, ``bench``)
+share the parallel-driver flags:
+
+``--jobs N``
+    Refute independent edges on N workers (default 1: the deterministic
+    serial mode that reproduces the paper's tables bit-identically).
+``--deadline S``
+    Per-edge wall-clock deadline in seconds; an edge that exceeds it is
+    reported TIMEOUT (not refuted), like the paper's per-edge timeout.
+``--json-report PATH``
+    Write the structured per-edge run report (JSON) to PATH.
+``--progress``
+    Stream per-edge progress lines to stderr as jobs finish.
+
+See ``docs/cli.md`` for the full reference with examples.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_driver_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker count for edge refutation (default 1: deterministic serial)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-edge wall-clock deadline in seconds (exceeded => TIMEOUT)",
+    )
+    parser.add_argument(
+        "--json-report",
+        default=None,
+        metavar="PATH",
+        help="write the structured per-edge run report (JSON) to PATH",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream per-edge progress to stderr",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -29,6 +81,7 @@ def main(argv: list[str] | None = None) -> int:
     p_check.add_argument("--annotated", action="store_true", help="Ann?=Y configuration")
     p_check.add_argument("--budget", type=int, default=10_000)
     p_check.add_argument("--witnesses", action="store_true", help="print path program witnesses")
+    _add_driver_flags(p_check)
 
     p_graph = sub.add_parser("graph", help="dump the flow-insensitive points-to graph")
     p_graph.add_argument("file")
@@ -37,16 +90,19 @@ def main(argv: list[str] | None = None) -> int:
     p_bench = sub.add_parser("bench", help="run the paper's evaluation tables")
     p_bench.add_argument("--table", choices=["1", "2"], default="1")
     p_bench.add_argument("--app", default=None, help="restrict to one benchmark app")
+    _add_driver_flags(p_bench)
 
     p_wit = sub.add_parser("witness", help="witness or refute alarms for one static field")
     p_wit.add_argument("file")
     p_wit.add_argument("field", help="Class.field")
     p_wit.add_argument("--budget", type=int, default=10_000)
+    _add_driver_flags(p_wit)
 
     p_casts = sub.add_parser("casts", help="check every downcast for safety")
     p_casts.add_argument("file")
     p_casts.add_argument("--no-library", action="store_true")
     p_casts.add_argument("--budget", type=int, default=10_000)
+    _add_driver_flags(p_casts)
 
     args = parser.parse_args(argv)
     if args.command == "check":
@@ -67,6 +123,12 @@ def _read(path: str) -> str:
         return fh.read()
 
 
+def _on_event(args):
+    from .engine import ProgressPrinter
+
+    return ProgressPrinter() if getattr(args, "progress", False) else None
+
+
 def _cmd_check(args) -> int:
     from .android.leaks import LeakChecker
     from .symbolic import SearchConfig
@@ -77,6 +139,9 @@ def _cmd_check(args) -> int:
         app_name=args.file,
         annotated=args.annotated,
         config=SearchConfig(path_budget=args.budget),
+        jobs=args.jobs,
+        deadline=args.deadline,
+        on_event=_on_event(args),
     )
     report = checker.run()
     print(
@@ -93,6 +158,8 @@ def _cmd_check(args) -> int:
                 result = checker.engine.refute_edge(edge)
                 if result.witnessed:
                     print("    " + render_witness(checker.program, result).replace("\n", "\n    "))
+    if args.json_report and report.run_report is not None:
+        report.run_report.write(args.json_report)
     return 0 if not report.reported_alarms else 1
 
 
@@ -116,16 +183,43 @@ def _cmd_bench(args) -> int:
     from .reporting import render_table1, render_table2, table1_row, table2_row
 
     apps = [app_by_name(args.app)] if args.app else APPS
+    on_event = _on_event(args)
     if args.table == "1":
         rows = []
+        reports = []
         for app in apps:
             for annotated in (False, True):
-                row, _ = table1_row(app, annotated)
+                row, report = table1_row(
+                    app,
+                    annotated,
+                    jobs=args.jobs,
+                    deadline=args.deadline,
+                    on_event=on_event,
+                )
                 rows.append(row)
+                reports.append(report)
         print(render_table1(rows))
+        if args.json_report:
+            _write_bench_reports(args.json_report, reports)
     else:
-        rows = [table2_row(app) for app in apps]
+        rows = [
+            table2_row(app, jobs=args.jobs, deadline=args.deadline, on_event=on_event)
+            for app in apps
+        ]
         print(render_table2(rows))
+    return 0
+
+
+def _write_bench_reports(path: str, reports) -> int:
+    """Concatenate the per-app run reports into one JSON array."""
+    import json
+
+    payload = [
+        r.run_report.to_dict() for r in reports if r.run_report is not None
+    ]
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
     return 0
 
 
@@ -140,28 +234,42 @@ def _cmd_witness(args) -> int:
         print("field must be Class.field", file=sys.stderr)
         return 2
     checker = LeakChecker(
-        _read(args.file), args.file, config=SearchConfig(path_budget=args.budget)
+        _read(args.file),
+        args.file,
+        config=SearchConfig(path_budget=args.budget),
+        jobs=args.jobs,
+        deadline=args.deadline,
+        on_event=_on_event(args),
     )
     root = StaticFieldNode(class_name, field_name)
     edges = [e for e in checker.pta.graph.static_edges() if e.src == root]
     if not edges:
         print(f"no points-to edges out of {args.field}")
         return 0
+    results = checker.driver.refute_edges(edges)
+    from .pointsto.producers import edge_key
+
     for edge in edges:
-        result = checker.engine.refute_edge(edge)
+        result = results[edge_key(edge)]
         print(f"{edge}: {result.status.upper()} ({result.path_programs} path programs)")
         if result.witnessed:
             print(render_witness(checker.program, result))
+    if args.json_report:
+        checker.driver.build_report(app=args.file, command="witness").write(
+            args.json_report
+        )
+    checker.driver.close()
     return 0
 
 
 def _cmd_casts(args) -> int:
     from .android.harness import build_full_source
     from .clients import SAFE, check_casts
+    from .engine import RefutationDriver
     from .ir import build_program
     from .lang import frontend
     from .pointsto import analyze
-    from .symbolic import Engine, SearchConfig
+    from .symbolic import SearchConfig
 
     if args.no_library:
         source = _read(args.file)
@@ -169,8 +277,14 @@ def _cmd_casts(args) -> int:
         source = build_full_source(_read(args.file))
     program = build_program(frontend(source))
     pta = analyze(program)
-    engine = Engine(pta, SearchConfig(path_budget=args.budget))
-    reports = check_casts(pta, engine=engine)
+    driver = RefutationDriver(
+        pta,
+        SearchConfig(path_budget=args.budget),
+        jobs=args.jobs,
+        deadline=args.deadline,
+        on_event=_on_event(args),
+    )
+    reports = check_casts(pta, engine=driver)
     flagged = 0
     for report in reports:
         line = program.commands[report.label].pos.line
@@ -181,7 +295,10 @@ def _cmd_casts(args) -> int:
         if report.status != SAFE:
             flagged += 1
     print(f"{len(reports)} cast(s) checked, {flagged} flagged")
-    return 0 if flagged == 0 else 1
+    if args.json_report:
+        driver.build_report(app=args.file, command="casts").write(args.json_report)
+    driver.close()
+    return 0
 
 
 if __name__ == "__main__":

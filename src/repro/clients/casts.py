@@ -15,11 +15,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..engine import RefutationDriver
 from ..ir import instructions as ins
 from ..pointsto import PointsToResult
 from ..pointsto.graph import AbsLoc
-from ..symbolic import Engine, SearchConfig
+from ..symbolic import SearchConfig
 from ..symbolic.stats import REFUTED, WITNESSED
+from .reachability import Refuter, _resolve_refuter
 
 SAFE = "safe"
 POSSIBLY_UNSAFE = "possibly-unsafe"
@@ -44,12 +46,20 @@ class CastReport:
 def check_casts(
     pta: PointsToResult,
     config: Optional[SearchConfig] = None,
-    engine: Optional[Engine] = None,
+    engine: Optional[Refuter] = None,
+    jobs: int = 1,
+    deadline: Optional[float] = None,
 ) -> list[CastReport]:
-    """Check every reachable cast in the program."""
-    engine = engine or Engine(pta, config or SearchConfig())
+    """Check every reachable cast in the program.
+
+    Each suspicious cast is an independent fact-refutation query; with a
+    parallel driver (``jobs > 1``) the queries are fanned out over the
+    worker pool. Reports come back in program order either way."""
+    refuter = _resolve_refuter(pta, config, engine, jobs, deadline)
     table = pta.program.class_table
-    reports: list[CastReport] = []
+    reports: list[Optional[CastReport]] = []
+    # First pass: classify trivially-safe casts, collect the rest as jobs.
+    jobs_to_run: list[tuple] = []  # (report index, cmd, qname, suspects)
     for qname in sorted(pta.call_graph.reachable_methods):
         method = pta.program.methods.get(qname)
         if method is None:
@@ -67,25 +77,42 @@ def check_casts(
                     CastReport(cmd.label, qname, cmd, suspects, SAFE)
                 )
                 continue
-            result = engine.refute_fact_at(cmd.label, [(cmd.src, suspects)])
-            if result.status == REFUTED:
-                status = SAFE
-            elif result.status == WITNESSED:
-                status = POSSIBLY_UNSAFE
-            else:
-                status = UNKNOWN
-            reports.append(
-                CastReport(
+            jobs_to_run.append((len(reports), cmd, qname, suspects))
+            reports.append(None)
+    # Second pass: run the batch and fill reports back in program order.
+    if isinstance(refuter, RefutationDriver):
+        results = refuter.refute_facts(
+            [
+                (
                     cmd.label,
-                    qname,
-                    cmd,
-                    suspects,
-                    status,
-                    result.path_programs,
-                    result.witness_trace,
+                    [(cmd.src, suspects)],
+                    f"cast@L{cmd.label} ({cmd.class_name}) {cmd.src} in {qname}",
                 )
-            )
-    return reports
+                for _, cmd, qname, suspects in jobs_to_run
+            ]
+        )
+    else:
+        results = [
+            refuter.refute_fact_at(cmd.label, [(cmd.src, suspects)])
+            for _, cmd, _, suspects in jobs_to_run
+        ]
+    for (index, cmd, qname, suspects), result in zip(jobs_to_run, results):
+        if result.status == REFUTED:
+            status = SAFE
+        elif result.status == WITNESSED:
+            status = POSSIBLY_UNSAFE
+        else:
+            status = UNKNOWN
+        reports[index] = CastReport(
+            cmd.label,
+            qname,
+            cmd,
+            suspects,
+            status,
+            result.path_programs,
+            result.witness_trace,
+        )
+    return [r for r in reports if r is not None]
 
 
 def unsafe_casts(reports: list[CastReport]) -> list[CastReport]:

@@ -17,8 +17,15 @@ from typing import Optional
 
 from ..pointsto import PointsToResult, find_heap_path
 from ..pointsto.graph import AbsLoc, HeapEdge, StaticFieldNode
-from ..symbolic import Engine, SearchConfig
-from .reachability import HOLDS, INCONCLUSIVE, VIOLATED, refute_reachability
+from ..symbolic import SearchConfig
+from .reachability import (
+    HOLDS,
+    INCONCLUSIVE,
+    VIOLATED,
+    Refuter,
+    _resolve_refuter,
+    refute_reachability,
+)
 
 
 @dataclass
@@ -36,14 +43,16 @@ def check_encapsulation(
     owner_class: str,
     field: str,
     config: Optional[SearchConfig] = None,
-    engine: Optional[Engine] = None,
+    engine: Optional[Refuter] = None,
+    jobs: int = 1,
+    deadline: Optional[float] = None,
 ) -> list[ExposureResult]:
     """Check that the representation objects held in ``owner_class.field``
     are not reachable from any static field. Returns an
     :class:`ExposureResult` for each candidate exposure the
     flow-insensitive graph reports; an empty list (or all ``holds``) means
     the representation is encapsulated against static exposure."""
-    engine = engine or Engine(pta, config or SearchConfig())
+    engine = _resolve_refuter(pta, config, engine, jobs, deadline)
     table = pta.program.class_table
     # Representation: everything field `field` of Owner instances may hold.
     rep_locs: set[AbsLoc] = set()

@@ -16,11 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
+from ..engine import RefutationDriver
 from ..ir import instructions as ins
 from ..ir.program import INIT
 from ..pointsto import PointsToResult
-from ..symbolic import Engine, SearchConfig
+from ..symbolic import SearchConfig
 from ..symbolic.stats import REFUTED, WITNESSED
+from .reachability import Refuter, _resolve_refuter
 
 IMMUTABLE = "immutable"
 MUTATED = "mutated"
@@ -51,11 +53,14 @@ def check_immutable(
     pta: PointsToResult,
     class_name: str,
     config: Optional[SearchConfig] = None,
-    engine: Optional[Engine] = None,
+    engine: Optional[Refuter] = None,
+    jobs: int = 1,
+    deadline: Optional[float] = None,
 ) -> ImmutabilityReport:
     """Check that instances of ``class_name`` are never mutated outside
-    their own constructors."""
-    engine = engine or Engine(pta, config or SearchConfig())
+    their own constructors. Each flagged write is an independent
+    fact-refutation query, fanned out over the driver's worker pool."""
+    refuter = _resolve_refuter(pta, config, engine, jobs, deadline)
     table = pta.program.class_table
     targets = frozenset(
         loc
@@ -63,8 +68,8 @@ def check_immutable(
         if loc.site.kind == "object"
         and table.site_is_instance(loc.site, class_name)
     )
-    sites: list[MutationSite] = []
-    overall = IMMUTABLE
+    # First pass: collect every flagged write as one refutation job.
+    jobs_to_run: list[tuple] = []  # (cmd, qname, suspects)
     for qname in sorted(pta.call_graph.reachable_methods):
         method = pta.program.methods.get(qname)
         if method is None:
@@ -78,17 +83,33 @@ def check_immutable(
             suspects = targets & pta.pt_local(qname, cmd.base)
             if not suspects:
                 continue
-            result = engine.refute_fact_at(cmd.label, [(cmd.base, suspects)])
-            if result.status == REFUTED:
-                status = "refuted"
-            elif result.status == WITNESSED:
-                status = "witnessed"
-                overall = MUTATED
-            else:
-                status = "timeout"
-                if overall == IMMUTABLE:
-                    overall = UNKNOWN
-            sites.append(
-                MutationSite(cmd.label, qname, cmd, status, result.witness_trace)
-            )
+            jobs_to_run.append((cmd, qname, suspects))
+    # Second pass: refute the batch, then fold verdicts in program order.
+    if isinstance(refuter, RefutationDriver):
+        results = refuter.refute_facts(
+            [
+                (cmd.label, [(cmd.base, suspects)], f"write@L{cmd.label} in {qname}")
+                for cmd, qname, suspects in jobs_to_run
+            ]
+        )
+    else:
+        results = [
+            refuter.refute_fact_at(cmd.label, [(cmd.base, suspects)])
+            for cmd, _, suspects in jobs_to_run
+        ]
+    sites: list[MutationSite] = []
+    overall = IMMUTABLE
+    for (cmd, qname, suspects), result in zip(jobs_to_run, results):
+        if result.status == REFUTED:
+            status = "refuted"
+        elif result.status == WITNESSED:
+            status = "witnessed"
+            overall = MUTATED
+        else:
+            status = "timeout"
+            if overall == IMMUTABLE:
+                overall = UNKNOWN
+        sites.append(
+            MutationSite(cmd.label, qname, cmd, status, result.witness_trace)
+        )
     return ImmutabilityReport(class_name, overall, sites)

@@ -8,13 +8,15 @@ This module provides that checker over arbitrary programs (no Android
 library or harness required): assert that no instance of a target class —
 or of a specific allocation site — is ever reachable from a given static
 field. The verification loop is the same edge-refutation / re-routing loop
-as the leak client (Section 2 of the paper)."""
+as the leak client (Section 2 of the paper), scheduled through the
+parallel :class:`repro.engine.RefutationDriver`."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Iterable, Optional, Union
 
+from ..engine import RefutationDriver
 from ..pointsto import PointsToResult, find_heap_path
 from ..pointsto.graph import AbsLoc, HeapEdge, StaticFieldNode
 from ..symbolic import Engine, SearchConfig
@@ -22,6 +24,10 @@ from ..symbolic import Engine, SearchConfig
 HOLDS = "holds"  # the assertion is verified (all paths refuted)
 VIOLATED = "violated"  # a fully witnessed heap path exists
 INCONCLUSIVE = "inconclusive"  # timeouts prevented a verdict
+
+#: Every client entry point accepts either a bare serial engine or the
+#: parallel driver; bare engines keep the seed's one-edge-at-a-time walk.
+Refuter = Union[Engine, RefutationDriver]
 
 
 @dataclass
@@ -34,14 +40,40 @@ class ReachabilityResult:
     timeouts: int = 0
 
 
+def _resolve_refuter(
+    pta: PointsToResult,
+    config: Optional[SearchConfig],
+    engine: Optional[Refuter],
+    jobs: int,
+    deadline: Optional[float],
+) -> Refuter:
+    if engine is not None:
+        return engine
+    return RefutationDriver(
+        pta, config or SearchConfig(), jobs=jobs, deadline=deadline
+    )
+
+
+def _refute_path(
+    refuter: Refuter, path: list[HeapEdge]
+) -> Iterable[tuple[HeapEdge, "object"]]:
+    if isinstance(refuter, RefutationDriver):
+        return refuter.refute_path(path)
+    return ((edge, refuter.refute_edge(edge)) for edge in path)
+
+
 def refute_reachability(
     pta: PointsToResult,
-    engine: Engine,
+    engine: Refuter,
     root: StaticFieldNode,
     target: AbsLoc,
     shared_refuted: Optional[set] = None,
 ) -> ReachabilityResult:
-    """The Section 2 loop: find a heap path, refute edges, re-route."""
+    """The Section 2 loop: find a heap path, refute edges, re-route.
+
+    ``engine`` may be a serial :class:`Engine` or a
+    :class:`RefutationDriver`; with a driver the edges of each candidate
+    path are refuted across the worker pool."""
     refuted: set[HeapEdge] = shared_refuted if shared_refuted is not None else set()
     refuted_count = 0
     timeouts = 0
@@ -51,8 +83,7 @@ def refute_reachability(
             return ReachabilityResult(root, target, HOLDS, None, refuted_count, timeouts)
         progressed = False
         saw_timeout = False
-        for edge in path:
-            result = engine.refute_edge(edge)
+        for edge, result in _refute_path(engine, path):
             if result.refuted:
                 refuted.add(edge)
                 refuted_count += 1
@@ -74,13 +105,15 @@ def assert_unreachable(
     root_field: str,
     target_class: str,
     config: Optional[SearchConfig] = None,
-    engine: Optional[Engine] = None,
+    engine: Optional[Refuter] = None,
+    jobs: int = 1,
+    deadline: Optional[float] = None,
 ) -> list[ReachabilityResult]:
     """Check "no instance of ``target_class`` is ever reachable from the
     static field ``root_class.root_field``". Returns one result per target
     abstract location connected in the flow-insensitive graph (empty list
     means the points-to analysis already proves the assertion)."""
-    engine = engine or Engine(pta, config or SearchConfig())
+    refuter = _resolve_refuter(pta, config, engine, jobs, deadline)
     root = StaticFieldNode(root_class, root_field)
     table = pta.program.class_table
     targets = [
@@ -95,7 +128,7 @@ def assert_unreachable(
     for target in sorted(targets, key=str):
         if find_heap_path(pta.graph, root, target) is None:
             continue  # not even flow-insensitively reachable
-        results.append(refute_reachability(pta, engine, root, target, shared))
+        results.append(refute_reachability(pta, refuter, root, target, shared))
     return results
 
 
@@ -103,12 +136,14 @@ def assert_not_leaked(
     pta: PointsToResult,
     site_hint: str,
     config: Optional[SearchConfig] = None,
-    engine: Optional[Engine] = None,
+    engine: Optional[Refuter] = None,
+    jobs: int = 1,
+    deadline: Optional[float] = None,
 ) -> list[ReachabilityResult]:
     """Escape-to-static check for one allocation site: is any instance
     allocated at the site named ``site_hint`` (e.g. ``"box0"``) reachable
     from *any* static field? The lifetime-assertion flavor of the client."""
-    engine = engine or Engine(pta, config or SearchConfig())
+    refuter = _resolve_refuter(pta, config, engine, jobs, deadline)
     targets = [
         loc for loc in pta.graph.all_abs_locs() if loc.site.hint == site_hint
     ]
@@ -126,7 +161,7 @@ def assert_not_leaked(
         for target in sorted(targets, key=str):
             if find_heap_path(pta.graph, root, target) is None:
                 continue
-            results.append(refute_reachability(pta, engine, root, target, shared))
+            results.append(refute_reachability(pta, refuter, root, target, shared))
     return results
 
 

@@ -1,0 +1,498 @@
+"""The parallel refutation driver.
+
+The paper's Section 4 observation makes edge refutation embarrassingly
+parallel: each points-to edge on an alarm's heap path is refuted (or
+witnessed) *independently* — a refutation is a fact about the whole
+program, never about the alarm that asked. This module exploits that:
+
+* :class:`RefutationDriver` schedules edge-refutation jobs across a
+  ``concurrent.futures`` worker pool (``--jobs N``), thread- or
+  process-backed;
+* a per-edge **wall-clock deadline** (``--deadline S``) is enforced by the
+  cooperative cancellation checks inside
+  :class:`repro.symbolic.executor.Engine` (deadline exceeded ⇒ the edge is
+  TIMEOUT / not-refuted, exactly the paper's treatment of its per-edge
+  timeout);
+* every job's outcome is recorded for the structured JSON
+  :class:`repro.engine.report.RunReport`, and live
+  :mod:`repro.engine.events` are emitted as jobs are scheduled and finish.
+
+``jobs=1`` runs every job inline on one :class:`Engine` in submission
+order — bit-identical to the sequential seed behavior, which keeps the
+Table 1/2 reproduction deterministic. With ``jobs>1`` each worker owns a
+private ``Engine`` (the search engine is single-threaded by design);
+verdicts stay deterministic because the search itself is deterministic in
+``(program, config)``, only completion *order* varies. Results are merged
+into a shared cache so no edge is ever refuted twice.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+from concurrent.futures import Executor as _FuturesExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Optional, Sequence
+
+from ..pointsto import PointsToResult
+from ..pointsto.graph import HeapEdge
+from ..pointsto.producers import EdgeKey, edge_key
+from ..symbolic import Engine, SearchConfig
+from ..symbolic.stats import EdgeResult
+from .events import (
+    EdgeFinished,
+    EdgeScheduled,
+    EventBus,
+    RunFinished,
+    RunStarted,
+)
+from .report import EdgeRecord, RunReport
+
+SERIAL = "serial"
+THREAD = "thread"
+PROCESS = "process"
+
+#: A fact-refutation request: (label, bindings, description) — the
+#: arguments of :meth:`Engine.refute_fact_at` plus a display name.
+FactJob = tuple  # (int, list[tuple[str, Optional[frozenset]]], str)
+
+
+class RefutationDriver:
+    """Schedules independent refutation jobs over a worker pool.
+
+    Parameters
+    ----------
+    pta:
+        The solved points-to analysis the engines search against.
+    config:
+        The search configuration shared by every worker engine.
+    jobs:
+        Worker count. ``1`` (the default) is the deterministic serial
+        mode; ``N > 1`` fans edge jobs out over ``N`` workers.
+    deadline:
+        Per-edge wall-clock deadline in seconds (overrides
+        ``config.deadline_seconds`` when given).
+    backend:
+        ``"thread"`` (default for ``jobs > 1``) or ``"process"``. The
+        process backend re-builds one engine per worker process from a
+        pickled analysis; when the analysis does not pickle it falls back
+        to threads.
+    on_event:
+        Optional event sink (see :mod:`repro.engine.events`).
+    """
+
+    def __init__(
+        self,
+        pta: PointsToResult,
+        config: Optional[SearchConfig] = None,
+        jobs: int = 1,
+        deadline: Optional[float] = None,
+        backend: Optional[str] = None,
+        on_event: Optional[Callable[[object], None]] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        config = config or SearchConfig()
+        if deadline is not None:
+            config = config.copy(deadline_seconds=deadline)
+        self.pta = pta
+        self.config = config
+        self.jobs = jobs
+        self.backend = self._resolve_backend(backend)
+        self.events = EventBus([on_event] if on_event is not None else None)
+        #: The serial engine: runs every job when ``jobs == 1`` and serves
+        #: as the shared result cache that parallel results merge into.
+        self.engine = Engine(pta, config)
+        self._lock = threading.Lock()
+        self._records: dict = {}  # job key -> EdgeRecord, insertion-ordered
+        self._wall_seconds = 0.0
+        self._pool: Optional[_FuturesExecutor] = None
+        self._tls = threading.local()
+        self._worker_counter = 0
+
+    # ------------------------------------------------------------------
+    # Backend / pool management
+    # ------------------------------------------------------------------
+
+    def _resolve_backend(self, backend: Optional[str]) -> str:
+        if self.jobs == 1:
+            return SERIAL
+        if backend is None or backend == THREAD:
+            return THREAD
+        if backend == PROCESS:
+            try:
+                pickle.dumps(self.pta)
+            except Exception:
+                return THREAD
+            return PROCESS
+        raise ValueError(f"unknown backend {backend!r}")
+
+    def _get_pool(self) -> _FuturesExecutor:
+        if self._pool is None:
+            if self.backend == PROCESS:
+                try:
+                    payload = pickle.dumps((self.pta, self.config))
+                    self._pool = ProcessPoolExecutor(
+                        max_workers=self.jobs,
+                        initializer=_process_init,
+                        initargs=(payload,),
+                    )
+                except Exception:
+                    # The analysis (or platform) does not support process
+                    # workers; degrade to threads rather than failing the run.
+                    self.backend = THREAD
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.jobs,
+                    thread_name_prefix="refute",
+                )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "RefutationDriver":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _worker_engine(self) -> tuple[Engine, str]:
+        """The calling thread's private engine (threads only)."""
+        engine = getattr(self._tls, "engine", None)
+        if engine is None:
+            with self._lock:
+                worker_id = self._worker_counter
+                self._worker_counter += 1
+            engine = Engine(self.pta, self.config)
+            self._tls.engine = engine
+            self._tls.name = f"thread-{worker_id}"
+        return engine, self._tls.name
+
+    # ------------------------------------------------------------------
+    # Edge refutation
+    # ------------------------------------------------------------------
+
+    def refute_edge(self, edge: HeapEdge) -> EdgeResult:
+        """Refute one edge inline (always serial; cache-aware)."""
+        key = edge_key(edge)
+        cached = self._cached(key)
+        if cached is not None:
+            return cached
+        result = self.engine.refute_edge(edge)
+        self._store(key, edge, result, SERIAL)
+        return result
+
+    def refute_edges(
+        self, edges: Sequence[HeapEdge]
+    ) -> dict[EdgeKey, EdgeResult]:
+        """Refute a batch of edges, fanning out over the worker pool.
+
+        Duplicate and already-refuted edges are served from the shared
+        cache; the rest run on the pool (or inline when ``jobs == 1``).
+        Returns every requested edge's result keyed by its edge key.
+        """
+        start = time.perf_counter()
+        ordered: list[tuple[EdgeKey, HeapEdge]] = []
+        seen: set[EdgeKey] = set()
+        for edge in edges:
+            key = edge_key(edge)
+            if key not in seen:
+                seen.add(key)
+                ordered.append((key, edge))
+        results: dict[EdgeKey, EdgeResult] = {}
+        todo: list[tuple[EdgeKey, HeapEdge]] = []
+        for key, edge in ordered:
+            cached = self._cached(key)
+            if cached is not None:
+                results[key] = cached
+            else:
+                todo.append((key, edge))
+        total = len(ordered)
+        self.events.emit(
+            RunStarted(
+                total_jobs=total,
+                jobs=self.jobs,
+                backend=self.backend,
+                deadline=self.config.deadline_seconds,
+            )
+        )
+        done = 0
+        for index, (key, edge) in enumerate(ordered):
+            if key in results:
+                self._emit_finished(
+                    str(edge), results[key], SERIAL, done, total, cached=True
+                )
+                done += 1
+        if self.jobs == 1 or len(todo) <= 1:
+            for key, edge in todo:
+                result = self.engine.refute_edge(edge)
+                self._store(key, edge, result, SERIAL)
+                results[key] = result
+                self._emit_finished(str(edge), result, SERIAL, done, total)
+                done += 1
+        else:
+            done = self._run_parallel_edges(todo, results, done, total)
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self._wall_seconds += elapsed
+        self.events.emit(
+            RunFinished(
+                refuted=sum(1 for r in results.values() if r.refuted),
+                witnessed=sum(1 for r in results.values() if r.witnessed),
+                timeouts=sum(1 for r in results.values() if r.timed_out),
+                seconds=elapsed,
+            )
+        )
+        return results
+
+    def _run_parallel_edges(
+        self,
+        todo: list[tuple[EdgeKey, HeapEdge]],
+        results: dict[EdgeKey, EdgeResult],
+        done: int,
+        total: int,
+    ) -> int:
+        from concurrent.futures import as_completed
+
+        pool = self._get_pool()
+        futures = {}
+        for index, (key, edge) in enumerate(todo):
+            self.events.emit(
+                EdgeScheduled(description=str(edge), index=index, total=total)
+            )
+            if self.backend == PROCESS:
+                fut = pool.submit(_process_refute_edge, edge)
+            else:
+                fut = pool.submit(self._thread_refute_edge, edge)
+            futures[fut] = (key, edge)
+        for fut in as_completed(futures):
+            key, edge = futures[fut]
+            result, worker = fut.result()
+            self._store(key, edge, result, worker)
+            results[key] = result
+            self._emit_finished(str(edge), result, worker, done, total)
+            done += 1
+        return done
+
+    def _thread_refute_edge(self, edge: HeapEdge) -> tuple[EdgeResult, str]:
+        engine, worker = self._worker_engine()
+        return engine.refute_edge(edge), worker
+
+    def refute_path(
+        self, path: Sequence[HeapEdge]
+    ) -> list[tuple[HeapEdge, EdgeResult]]:
+        """Refute the edges of one heap path.
+
+        Serial mode walks the path in order and stops at the first refuted
+        edge — exactly the sequential Section 2 loop, so ``jobs=1`` runs
+        are bit-identical to the seed. Parallel mode refutes every edge of
+        the path concurrently (the extra edges are not wasted: their
+        verdicts are program-wide facts that later paths and alarms reuse
+        from the cache). Returns ``(edge, result)`` pairs for the edges
+        actually examined, in path order.
+        """
+        if self.jobs == 1:
+            start = time.perf_counter()
+            total = len(path)
+            self.events.emit(
+                RunStarted(
+                    total_jobs=total,
+                    jobs=1,
+                    backend=SERIAL,
+                    deadline=self.config.deadline_seconds,
+                )
+            )
+            out = []
+            for index, edge in enumerate(path):
+                cached = self._cached(edge_key(edge)) is not None
+                result = self.refute_edge(edge)
+                out.append((edge, result))
+                self._emit_finished(
+                    str(edge), result, SERIAL, index, total, cached=cached
+                )
+                if result.refuted:
+                    break
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self._wall_seconds += elapsed
+            self.events.emit(
+                RunFinished(
+                    refuted=sum(1 for _, r in out if r.refuted),
+                    witnessed=sum(1 for _, r in out if r.witnessed),
+                    timeouts=sum(1 for _, r in out if r.timed_out),
+                    seconds=elapsed,
+                )
+            )
+            return out
+        results = self.refute_edges(path)
+        return [(edge, results[edge_key(edge)]) for edge in path]
+
+    # ------------------------------------------------------------------
+    # Fact refutation (the casts / immutability clients)
+    # ------------------------------------------------------------------
+
+    def refute_facts(self, requests: Sequence[FactJob]) -> list[EdgeResult]:
+        """Run a batch of :meth:`Engine.refute_fact_at` queries.
+
+        ``requests`` is a sequence of ``(label, bindings, description)``
+        triples; results come back in request order regardless of the
+        completion order on the pool.
+        """
+        start = time.perf_counter()
+        total = len(requests)
+        self.events.emit(
+            RunStarted(
+                total_jobs=total,
+                jobs=self.jobs,
+                backend=self.backend,
+                deadline=self.config.deadline_seconds,
+            )
+        )
+        results: list[Optional[EdgeResult]] = [None] * total
+        if self.jobs == 1 or total <= 1:
+            for i, (label, bindings, description) in enumerate(requests):
+                result = self.engine.refute_fact_at(label, bindings)
+                results[i] = result
+                self._record_fact(description, result, SERIAL)
+                self._emit_finished(description, result, SERIAL, i, total)
+        else:
+            from concurrent.futures import as_completed
+
+            pool = self._get_pool()
+            futures = {}
+            for i, (label, bindings, description) in enumerate(requests):
+                self.events.emit(
+                    EdgeScheduled(description=description, index=i, total=total)
+                )
+                if self.backend == PROCESS:
+                    fut = pool.submit(_process_refute_fact, label, bindings)
+                else:
+                    fut = pool.submit(self._thread_refute_fact, label, bindings)
+                futures[fut] = i
+            done = 0
+            for fut in as_completed(futures):
+                i = futures[fut]
+                result, worker = fut.result()
+                results[i] = result
+                description = requests[i][2]
+                self._record_fact(description, result, worker)
+                self._emit_finished(description, result, worker, done, total)
+                done += 1
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self._wall_seconds += elapsed
+        final = [r for r in results if r is not None]
+        self.events.emit(
+            RunFinished(
+                refuted=sum(1 for r in final if r.refuted),
+                witnessed=sum(1 for r in final if r.witnessed),
+                timeouts=sum(1 for r in final if r.timed_out),
+                seconds=elapsed,
+            )
+        )
+        return final
+
+    def _thread_refute_fact(self, label, bindings) -> tuple[EdgeResult, str]:
+        engine, worker = self._worker_engine()
+        return engine.refute_fact_at(label, bindings), worker
+
+    # ------------------------------------------------------------------
+    # Results, records, reports
+    # ------------------------------------------------------------------
+
+    def _cached(self, key: EdgeKey) -> Optional[EdgeResult]:
+        with self._lock:
+            return self.engine._edge_cache.get(key)
+
+    def _store(
+        self, key: EdgeKey, edge: HeapEdge, result: EdgeResult, worker: str
+    ) -> None:
+        with self._lock:
+            # Merge into the serial engine's cache so every consumer —
+            # including direct Engine users like witness rendering — sees
+            # one coherent result set.
+            if key not in self.engine._edge_cache:
+                self.engine._edge_cache[key] = result
+            if key not in self._records:
+                self._records[key] = EdgeRecord.from_result(
+                    result, worker=worker, description=str(edge), kind="edge"
+                )
+
+    def _record_fact(
+        self, description: str, result: EdgeResult, worker: str
+    ) -> None:
+        with self._lock:
+            key = ("fact", description, len(self._records))
+            self._records[key] = EdgeRecord.from_result(
+                result, worker=worker, description=description, kind="fact"
+            )
+
+    def _emit_finished(
+        self,
+        description: str,
+        result: EdgeResult,
+        worker: str,
+        index: int,
+        total: int,
+        cached: bool = False,
+    ) -> None:
+        self.events.emit(
+            EdgeFinished(
+                description=description,
+                status=result.status,
+                seconds=result.seconds,
+                path_programs=result.path_programs,
+                worker=worker,
+                index=index,
+                total=total,
+                cached=cached,
+            )
+        )
+
+    def edge_results(self) -> dict:
+        """All per-edge outcomes so far, keyed by edge key."""
+        with self._lock:
+            return dict(self.engine._edge_cache)
+
+    def build_report(self, app: str = "", command: str = "") -> RunReport:
+        """Snapshot the run so far as a structured :class:`RunReport`."""
+        with self._lock:
+            return RunReport(
+                app=app,
+                command=command,
+                jobs=self.jobs,
+                backend=self.backend,
+                deadline=self.config.deadline_seconds,
+                path_budget=self.config.path_budget,
+                wall_seconds=self._wall_seconds,
+                records=list(self._records.values()),
+            )
+
+
+# ---------------------------------------------------------------------------
+# Process-backend workers (module-level so they pickle by reference)
+# ---------------------------------------------------------------------------
+
+_PROCESS_ENGINE: Optional[Engine] = None
+
+
+def _process_init(payload: bytes) -> None:
+    global _PROCESS_ENGINE
+    pta, config = pickle.loads(payload)
+    _PROCESS_ENGINE = Engine(pta, config)
+
+
+def _process_refute_edge(edge: HeapEdge) -> tuple[EdgeResult, str]:
+    assert _PROCESS_ENGINE is not None
+    return _PROCESS_ENGINE.refute_edge(edge), f"process-{os.getpid()}"
+
+
+def _process_refute_fact(label, bindings) -> tuple[EdgeResult, str]:
+    assert _PROCESS_ENGINE is not None
+    return _PROCESS_ENGINE.refute_fact_at(label, bindings), f"process-{os.getpid()}"

@@ -1,0 +1,142 @@
+"""Structured run reports: the JSON artifact of one refutation run.
+
+A :class:`RunReport` records, for every edge (or fact) job the driver
+executed, its verdict, effort, wall-clock time, refutation kinds, and the
+worker that ran it, plus run-level metadata (worker count, backend,
+deadline, total wall time). It round-trips through JSON
+(``to_json``/``from_json``) so runs can be archived, diffed, and consumed
+by dashboards — the machine-readable counterpart of the human tables in
+:mod:`repro.reporting`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+from ..symbolic.stats import REFUTED, TIMEOUT, WITNESSED, EdgeResult
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class EdgeRecord:
+    """One refutation job's outcome, JSON-ready."""
+
+    description: str  # e.g. "Vec.table -> activity0" or "cast@L12"
+    status: str  # refuted | witnessed | timeout
+    path_programs: int = 0
+    seconds: float = 0.0
+    refutation_kinds: dict = field(default_factory=dict)
+    worker: str = "serial"
+    kind: str = "edge"  # edge | fact
+    witness_trace: Optional[list] = None
+
+    @classmethod
+    def from_result(
+        cls,
+        result: EdgeResult,
+        worker: str = "serial",
+        description: Optional[str] = None,
+        kind: str = "edge",
+    ) -> "EdgeRecord":
+        return cls(
+            description=description
+            if description is not None
+            else (str(result.edge) if result.edge is not None else "<fact>"),
+            status=result.status,
+            path_programs=result.path_programs,
+            seconds=result.seconds,
+            refutation_kinds=dict(result.refutation_kinds),
+            worker=worker,
+            kind=kind,
+            witness_trace=list(result.witness_trace)
+            if result.witness_trace is not None
+            else None,
+        )
+
+
+@dataclass
+class RunReport:
+    """Everything one driver run produced, serializable to JSON."""
+
+    app: str = ""
+    command: str = ""  # which client produced the run (check, casts, ...)
+    jobs: int = 1
+    backend: str = "serial"
+    deadline: Optional[float] = None
+    path_budget: int = 0
+    wall_seconds: float = 0.0
+    records: list[EdgeRecord] = field(default_factory=list)
+    schema_version: int = SCHEMA_VERSION
+
+    # -- aggregates -----------------------------------------------------------
+
+    def _count(self, status: str) -> int:
+        return sum(1 for r in self.records if r.status == status)
+
+    @property
+    def edges_refuted(self) -> int:
+        return self._count(REFUTED)
+
+    @property
+    def edges_witnessed(self) -> int:
+        return self._count(WITNESSED)
+
+    @property
+    def edge_timeouts(self) -> int:
+        return self._count(TIMEOUT)
+
+    @property
+    def path_programs(self) -> int:
+        return sum(r.path_programs for r in self.records)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Summed per-edge time (> wall_seconds when workers overlap)."""
+        return sum(r.seconds for r in self.records)
+
+    def statuses(self) -> dict[str, str]:
+        """Verdict per job description — the determinism-check payload."""
+        return {r.description: r.status for r in self.records}
+
+    # -- (de)serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["summary"] = {
+            "refuted": self.edges_refuted,
+            "witnessed": self.edges_witnessed,
+            "timeouts": self.edge_timeouts,
+            "path_programs": self.path_programs,
+            "busy_seconds": self.busy_seconds,
+        }
+        return out
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunReport":
+        records = [EdgeRecord(**r) for r in data.get("records", [])]
+        return cls(
+            app=data.get("app", ""),
+            command=data.get("command", ""),
+            jobs=data.get("jobs", 1),
+            backend=data.get("backend", "serial"),
+            deadline=data.get("deadline"),
+            path_budget=data.get("path_budget", 0),
+            wall_seconds=data.get("wall_seconds", 0.0),
+            records=records,
+            schema_version=data.get("schema_version", SCHEMA_VERSION),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        return cls.from_dict(json.loads(text))
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")

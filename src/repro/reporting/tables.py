@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from ..android.leaks import LeakChecker, LeakReport
 from ..bench.apps import BenchApp
@@ -48,9 +48,26 @@ def table1_row(
     app: BenchApp,
     annotated: bool,
     config: Optional[SearchConfig] = None,
+    jobs: int = 1,
+    deadline: Optional[float] = None,
+    on_event: Optional[Callable[[object], None]] = None,
 ) -> tuple[Table1Row, LeakReport]:
+    """One Table 1 cell. ``jobs``/``deadline`` select the parallel driver
+    and the per-edge wall-clock limit; ``on_event`` receives the live
+    progress stream (see :mod:`repro.engine.events`). The paper-faithful
+    deterministic configuration is the default (``jobs=1``, no deadline);
+    the resulting :class:`LeakReport` carries the structured
+    ``run_report`` either way."""
     truth_pairs = concrete_leak_pairs(app)
-    checker = LeakChecker(app.source, app.name, annotated=annotated, config=config)
+    checker = LeakChecker(
+        app.source,
+        app.name,
+        annotated=annotated,
+        config=config,
+        jobs=jobs,
+        deadline=deadline,
+        on_event=on_event,
+    )
     report = checker.run()
 
     def is_true(alarm) -> bool:
@@ -172,12 +189,21 @@ def table2_row(
     app: BenchApp,
     annotated: bool = False,
     config: Optional[SearchConfig] = None,
+    jobs: int = 1,
+    deadline: Optional[float] = None,
+    on_event: Optional[Callable[[object], None]] = None,
 ) -> Table2Row:
     base = config or SearchConfig()
     mixed_cfg = base.copy(representation=Representation.MIXED)
     symbolic_cfg = base.copy(representation=Representation.FULLY_SYMBOLIC)
-    mixed = LeakChecker(app.source, app.name, annotated, mixed_cfg).run()
-    symbolic = LeakChecker(app.source, app.name, annotated, symbolic_cfg).run()
+    mixed = LeakChecker(
+        app.source, app.name, annotated, mixed_cfg,
+        jobs=jobs, deadline=deadline, on_event=on_event,
+    ).run()
+    symbolic = LeakChecker(
+        app.source, app.name, annotated, symbolic_cfg,
+        jobs=jobs, deadline=deadline, on_event=on_event,
+    ).run()
     return Table2Row(
         app=app.name,
         annotated=annotated,

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Optional
 
 
 class Representation(enum.Enum):
@@ -44,6 +45,11 @@ class SearchConfig:
     representation: Representation = Representation.MIXED
     #: Path-program budget per edge; exceeded => timeout (edge not refuted).
     path_budget: int = 10_000
+    #: Per-edge wall-clock deadline in seconds; exceeded => timeout (edge
+    #: not refuted), exactly like the path-program budget. ``None`` disables
+    #: the deadline (the budget alone bounds the search). The paper's
+    #: evaluation used a per-edge timeout in just this role.
+    deadline_seconds: Optional[float] = None
     #: Callees beyond this symbolic call-stack depth are skipped soundly.
     max_call_depth: int = 3
     #: Maximum number of path (guard) constraints kept in a query.

@@ -97,6 +97,8 @@ class Engine:
         self.stats = SearchStats()
         self._parents: dict[str, dict[int, tuple[Stmt, int]]] = {}
         self._budget_left = 0
+        self._deadline_at: Optional[float] = None
+        self._deadline_step = 0
         self._history = QueryHistory(enabled=self.config.simplify_queries)
         self._edge_cache: dict = {}
         self._branch_mods: dict[int, ModSet] = {}
@@ -116,6 +118,7 @@ class Engine:
             return self._edge_cache[key]
         start = time.perf_counter()
         self._budget_left = self.config.path_budget
+        self._arm_deadline(start)
         self._history = QueryHistory(enabled=self.config.simplify_queries)
         producers = self.pta.producers_of(edge)
         status = REFUTED
@@ -171,7 +174,9 @@ class Engine:
         paper's introduction sketches (cast checking, escape analysis,
         assertion checking)."""
         start = time.perf_counter()
-        self._budget_left = budget or self.config.path_budget
+        baseline = budget if budget is not None else self.config.path_budget
+        self._budget_left = baseline
+        self._arm_deadline(start)
         self._history = QueryHistory(enabled=self.config.simplify_queries)
         method = self.program.method_of_label(label)
         q = Query(method.qualified_name)
@@ -195,7 +200,7 @@ class Engine:
         result = EdgeResult(
             edge=None,  # type: ignore[arg-type]
             status=status,
-            path_programs=(budget or self.config.path_budget) - self._budget_left,
+            path_programs=baseline - self._budget_left,
             seconds=time.perf_counter() - start,
             refutation_kinds=dict(self.ctx.refutations),
             witness_trace=witness_trace,
@@ -206,10 +211,30 @@ class Engine:
     # Search loop
     # ------------------------------------------------------------------
 
+    def _arm_deadline(self, start: float) -> None:
+        """Arm the per-edge wall-clock deadline (cooperative cancellation:
+        the search loops poll :meth:`_check_deadline` and unwind with
+        ``SearchTimeout``, which is reported as TIMEOUT / not-refuted)."""
+        if self.config.deadline_seconds is not None:
+            self._deadline_at = start + self.config.deadline_seconds
+        else:
+            self._deadline_at = None
+        self._deadline_step = 0
+
+    def _check_deadline(self, every: int = 1) -> None:
+        if self._deadline_at is None:
+            return
+        self._deadline_step += 1
+        if self._deadline_step % every:
+            return
+        if time.perf_counter() > self._deadline_at:
+            raise SearchTimeout()
+
     def _spend(self, n: int = 1) -> None:
         self._budget_left -= n
         if self._budget_left < 0:
             raise SearchTimeout()
+        self._check_deadline()
 
     def _search(self, initial: list[PathState]) -> Optional[PathState]:
         """DFS over path states; returns a witnessing state or None when
@@ -217,6 +242,7 @@ class Engine:
         stack = list(initial)
         try:
             while stack:
+                self._check_deadline(every=16)
                 state = stack.pop()
                 stack.extend(self._step(state))
         except _Witnessed as w:
@@ -229,6 +255,7 @@ class Engine:
         collected: list[Query] = []
         stack = [PathState((StmtTask(stmt), ()), query)]
         while stack:
+            self._check_deadline(every=16)
             state = stack.pop()
             if state.k == ():
                 collected.append(state.query)

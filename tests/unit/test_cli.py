@@ -106,3 +106,65 @@ class TestBench:
     def test_bench_single_app_table2(self, capsys):
         assert main(["bench", "--table", "2", "--app", "DroidLife"]) == 0
         assert "Table 2" in capsys.readouterr().out
+
+
+class TestDriverFlags:
+    """The parallel-driver flags shared by check/witness/casts/bench."""
+
+    def test_jobs_flag_same_verdict(self, leaky_file, clean_file, capsys):
+        for path, expected in ((leaky_file, 1), (clean_file, 0)):
+            serial = main(["check", path, "--jobs", "1"])
+            capsys.readouterr()
+            parallel = main(["check", path, "--jobs", "4"])
+            capsys.readouterr()
+            assert serial == parallel == expected
+
+    def test_json_report_written(self, leaky_file, tmp_path, capsys):
+        import json
+
+        report_path = str(tmp_path / "run.json")
+        code = main(["check", leaky_file, "--jobs", "2", "--json-report", report_path])
+        capsys.readouterr()
+        assert code == 1
+        data = json.loads(open(report_path).read())
+        assert data["jobs"] == 2
+        assert data["records"]
+        assert {r["status"] for r in data["records"]} <= {
+            "refuted", "witnessed", "timeout"
+        }
+
+    def test_deadline_flag_converts_to_timeout(self, leaky_file, tmp_path, capsys):
+        import json
+
+        report_path = str(tmp_path / "run.json")
+        code = main(
+            ["check", leaky_file, "--deadline", "0.0", "--json-report", report_path]
+        )
+        capsys.readouterr()
+        assert code == 1  # timeout is not-refuted: the alarm is still reported
+        data = json.loads(open(report_path).read())
+        assert data["deadline"] == 0.0
+        assert data["summary"]["timeouts"] >= 1
+
+    def test_progress_flag(self, leaky_file, capsys):
+        code = main(["check", leaky_file, "--progress"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "done:" in captured.err
+
+    def test_witness_with_driver_flags(self, leaky_file, tmp_path, capsys):
+        import json
+
+        report_path = str(tmp_path / "wit.json")
+        code = main(
+            ["witness", leaky_file, "A.cache", "--jobs", "2",
+             "--json-report", report_path]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "WITNESSED" in out
+        assert json.loads(open(report_path).read())["command"] == "witness"
+
+    def test_bench_with_jobs(self, capsys):
+        assert main(["bench", "--app", "DroidLife", "--jobs", "2"]) == 0
+        assert "Table 1" in capsys.readouterr().out
