@@ -14,6 +14,9 @@ The public API, bottom-up:
 * :mod:`repro.engine` — the parallel refutation driver: worker pools,
   per-edge wall-clock deadlines, structured run reports, progress events;
 * :mod:`repro.android` — the Activity-leak client;
+* :mod:`repro.clients`, :mod:`repro.api` — the assertion clients (casts,
+  immutability, encapsulation, reachability) behind one facade;
+* :mod:`repro.obs` — span tracing and process-wide metrics;
 * :mod:`repro.bench`, :mod:`repro.reporting` — the evaluation.
 
 Quickstart::
@@ -24,9 +27,20 @@ Quickstart::
     pta = analyze(program)
     result = Engine(pta).refute_edge(next(pta.graph.heap_edges()))
     print(result.status)   # "refuted" | "witnessed" | "timeout"
+
+or, one call through the facade (``analyze`` here is the points-to
+analysis; the facade's entry point lives at :func:`repro.api.analyze` to
+keep both importable)::
+
+    from repro.api import analyze
+
+    result = analyze(client="casts", source=source)
+    print(result.verified, result.stats.items)
 """
 
+from . import api, obs
 from .android import LeakChecker, LeakReport, check_app
+from .api import AnalysisRequest, AnalysisResult
 from .engine import ProgressPrinter, RefutationDriver, RunReport
 from .ir import Interpreter, build_program, compile_program
 from .lang import frontend, parse_program
@@ -47,6 +61,10 @@ from .symbolic import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
+    "obs",
+    "AnalysisRequest",
+    "AnalysisResult",
     "LeakChecker",
     "LeakReport",
     "check_app",

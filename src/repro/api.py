@@ -1,0 +1,164 @@
+"""The one-call programmatic facade: build → point-to → refute → report.
+
+Each analysis client historically had its own entry point, argument order,
+and return shape. This module fronts all four with a single pair of types:
+
+>>> from repro.api import AnalysisRequest, analyze
+>>> result = analyze(AnalysisRequest(client="casts", source=src))
+>>> result.verified, result.status, result.stats.items
+(True, 'verified', 3)
+
+or, equivalently, keyword-only::
+
+    result = analyze(client="immutability", source=src, class_name="Box")
+
+``analyze`` accepts the program in any stage of preparation — raw
+mini-Java ``source``, a built IR ``program``, or a finished points-to
+``pta`` — runs the missing front half of the pipeline, constructs a
+:class:`~repro.engine.RefutationDriver` with the requested parallelism,
+dispatches to the client, and returns the shared
+:class:`~repro.clients.result.AnalysisResult` protocol (``.verified``,
+``.status``, ``.results``, ``.stats``, ``.report``). The attached
+:class:`~repro.engine.report.RunReport` carries per-job records and, when
+tracing is installed (:func:`repro.obs.trace.install`), per-phase timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .clients.casts import analyze_casts
+from .clients.encapsulation import analyze_encapsulation
+from .clients.immutability import analyze_immutability
+from .clients.reachability import analyze_reachability
+from .clients.result import AnalysisResult, AnalysisStats
+from .symbolic import SearchConfig
+
+CLIENTS = ("reachability", "casts", "immutability", "encapsulation")
+
+
+@dataclass
+class AnalysisRequest:
+    """Everything one analysis run needs, in one declarative object.
+
+    Exactly one of ``source`` / ``program`` / ``pta`` must be given; the
+    facade runs whatever remains of the front half of the pipeline.
+    Selector fields are per-client: ``root_class``/``root_field``/
+    ``target_class`` or ``site`` for ``reachability``, ``class_name`` for
+    ``immutability``, ``owner_class``/``field_name`` for
+    ``encapsulation``; ``casts`` needs none."""
+
+    client: str  # one of CLIENTS
+    # -- program input, in increasing stages of preparation ----------------
+    source: Optional[str] = None  # mini-Java source text
+    program: Optional["object"] = None  # built repro.ir Program
+    pta: Optional["object"] = None  # finished PointsToResult
+    include_library: bool = False  # wrap source in the Android library+harness
+    # -- per-client selectors ----------------------------------------------
+    root_class: Optional[str] = None
+    root_field: Optional[str] = None
+    target_class: Optional[str] = None
+    site: Optional[str] = None
+    class_name: Optional[str] = None
+    owner_class: Optional[str] = None
+    field_name: Optional[str] = None
+    # -- analysis / refutation-driver knobs --------------------------------
+    context_policy: Optional["object"] = None  # pointsto ContextPolicy
+    jobs: int = 1
+    deadline: Optional[float] = None
+    budget: Optional[int] = None  # path_budget override
+    config: Optional[SearchConfig] = None
+    on_event: Optional[Callable[[object], None]] = None
+
+
+def _resolve_pta(request: AnalysisRequest) -> "object":
+    if request.pta is not None:
+        if request.context_policy is not None:
+            raise ValueError("context_policy has no effect on a finished pta=")
+        return request.pta
+    from .ir import build_program
+    from .pointsto import analyze as pointsto_analyze
+
+    program = request.program
+    if program is None:
+        if request.source is None:
+            raise ValueError(
+                "AnalysisRequest needs one of source=, program=, or pta="
+            )
+        from .lang import frontend
+
+        source = request.source
+        if request.include_library:
+            from .android.harness import build_full_source
+
+            source = build_full_source(source)
+        program = build_program(frontend(source))
+    return pointsto_analyze(program, policy=request.context_policy)
+
+
+def _resolve_config(request: AnalysisRequest) -> SearchConfig:
+    config = request.config or SearchConfig()
+    if request.budget is not None:
+        config = config.copy(path_budget=request.budget)
+    return config
+
+
+def analyze(request: Optional[AnalysisRequest] = None, /, **kwargs) -> AnalysisResult:
+    """Run one analysis client end to end and return its
+    :class:`AnalysisResult`. Pass an :class:`AnalysisRequest`, or its
+    fields as keywords — ``analyze(client="casts", source=src)``."""
+    if request is None:
+        request = AnalysisRequest(**kwargs)
+    elif kwargs:
+        raise TypeError("pass an AnalysisRequest or keywords, not both")
+    if request.client not in CLIENTS:
+        raise ValueError(
+            f"unknown client {request.client!r}; expected one of {CLIENTS}"
+        )
+    pta = _resolve_pta(request)
+    config = _resolve_config(request)
+    from .engine import RefutationDriver
+
+    driver = RefutationDriver(
+        pta,
+        config,
+        jobs=request.jobs,
+        deadline=request.deadline,
+        on_event=request.on_event,
+    )
+    try:
+        if request.client == "casts":
+            return analyze_casts(pta, config=config, engine=driver)
+        if request.client == "immutability":
+            if request.class_name is None:
+                raise ValueError("immutability needs class_name=")
+            return analyze_immutability(
+                pta, request.class_name, config=config, engine=driver
+            )
+        if request.client == "encapsulation":
+            if request.owner_class is None or request.field_name is None:
+                raise ValueError(
+                    "encapsulation needs owner_class= and field_name="
+                )
+            return analyze_encapsulation(
+                pta,
+                request.owner_class,
+                request.field_name,
+                config=config,
+                engine=driver,
+            )
+        return analyze_reachability(
+            pta,
+            request.root_class,
+            request.root_field,
+            request.target_class,
+            site=request.site,
+            config=config,
+            engine=driver,
+        )
+    finally:
+        driver.close()
+
+
+__all__ = ["AnalysisRequest", "AnalysisResult", "AnalysisStats", "analyze", "CLIENTS"]

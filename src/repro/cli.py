@@ -25,7 +25,17 @@ share the parallel-driver flags:
 ``--progress``
     Stream per-edge progress lines to stderr as jobs finish.
 
-See ``docs/cli.md`` for the full reference with examples.
+Every subcommand additionally accepts the observability flags:
+
+``--trace FILE``
+    Record hierarchical spans and write a Chrome trace-event JSON file
+    (open it in ``chrome://tracing`` or https://ui.perfetto.dev).
+``--metrics FILE``
+    Write the process-wide metrics registry (counters, gauges,
+    p50/p95 histograms) as JSON when the command finishes.
+
+See ``docs/cli.md`` for the full reference with examples and
+``docs/observability.md`` for the span/metric catalogue.
 """
 
 from __future__ import annotations
@@ -41,7 +51,23 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a Chrome trace-event JSON file (chrome://tracing, Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="write the metrics registry (counters/gauges/histograms) as JSON",
+    )
+
+
 def _add_driver_flags(parser: argparse.ArgumentParser) -> None:
+    _add_obs_flags(parser)
     parser.add_argument(
         "--jobs",
         type=_positive_int,
@@ -86,6 +112,7 @@ def main(argv: list[str] | None = None) -> int:
     p_graph = sub.add_parser("graph", help="dump the flow-insensitive points-to graph")
     p_graph.add_argument("file")
     p_graph.add_argument("--no-library", action="store_true")
+    _add_obs_flags(p_graph)
 
     p_bench = sub.add_parser("bench", help="run the paper's evaluation tables")
     p_bench.add_argument("--table", choices=["1", "2"], default="1")
@@ -105,17 +132,33 @@ def main(argv: list[str] | None = None) -> int:
     _add_driver_flags(p_casts)
 
     args = parser.parse_args(argv)
-    if args.command == "check":
-        return _cmd_check(args)
-    if args.command == "graph":
-        return _cmd_graph(args)
-    if args.command == "bench":
-        return _cmd_bench(args)
-    if args.command == "witness":
-        return _cmd_witness(args)
-    if args.command == "casts":
-        return _cmd_casts(args)
-    return 2
+    tracer = None
+    if getattr(args, "trace", None):
+        from .obs import trace
+
+        tracer = trace.install()
+    try:
+        if args.command == "check":
+            return _cmd_check(args)
+        if args.command == "graph":
+            return _cmd_graph(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
+        if args.command == "witness":
+            return _cmd_witness(args)
+        if args.command == "casts":
+            return _cmd_casts(args)
+        return 2
+    finally:
+        if tracer is not None:
+            from .obs import trace
+
+            tracer.write(args.trace)
+            trace.disable()
+        if getattr(args, "metrics", None):
+            from .obs import metrics
+
+            metrics.REGISTRY.write(args.metrics)
 
 
 def _read(path: str) -> str:
@@ -264,7 +307,7 @@ def _cmd_witness(args) -> int:
 
 def _cmd_casts(args) -> int:
     from .android.harness import build_full_source
-    from .clients import SAFE, check_casts
+    from .clients import SAFE, analyze_casts
     from .engine import RefutationDriver
     from .ir import build_program
     from .lang import frontend
@@ -284,7 +327,8 @@ def _cmd_casts(args) -> int:
         deadline=args.deadline,
         on_event=_on_event(args),
     )
-    reports = check_casts(pta, engine=driver)
+    result = analyze_casts(pta, engine=driver)
+    reports = result.results
     flagged = 0
     for report in reports:
         line = program.commands[report.label].pos.line

@@ -1,14 +1,36 @@
 """Additional heap-reachability clients beyond the Android leak detector —
 the applications the paper's introduction sketches: downcast safety,
-lifetime/escape assertions, and field-encapsulation checking."""
+lifetime/escape assertions, and field-encapsulation checking.
 
-from .casts import POSSIBLY_UNSAFE, SAFE, UNKNOWN, CastReport, check_casts, unsafe_casts
-from .encapsulation import ExposureResult, check_encapsulation, encapsulated
+Every client answers through the shared
+:class:`~repro.clients.result.AnalysisResult` protocol via its normalized
+``analyze_*`` entry point (or the :func:`repro.api.analyze` facade). The
+original per-client entry points (``check_casts``, ``check_immutable``,
+``check_encapsulation``, ``refute_reachability``, …) remain as thin
+deprecated shims.
+"""
+
+from .casts import (
+    POSSIBLY_UNSAFE,
+    SAFE,
+    UNKNOWN,
+    CastReport,
+    analyze_casts,
+    check_casts,
+    unsafe_casts,
+)
+from .encapsulation import (
+    ExposureResult,
+    analyze_encapsulation,
+    check_encapsulation,
+    encapsulated,
+)
 from .immutability import (
     IMMUTABLE,
     MUTATED,
     ImmutabilityReport,
     MutationSite,
+    analyze_immutability,
     check_immutable,
 )
 from .reachability import (
@@ -16,31 +38,39 @@ from .reachability import (
     INCONCLUSIVE,
     VIOLATED,
     ReachabilityResult,
+    analyze_reachability,
     assert_not_leaked,
     assert_unreachable,
     refute_reachability,
     verified,
 )
+from .result import AnalysisResult, AnalysisStats
 
 __all__ = [
+    "AnalysisResult",
+    "AnalysisStats",
     "POSSIBLY_UNSAFE",
     "SAFE",
     "UNKNOWN",
     "CastReport",
+    "analyze_casts",
     "check_casts",
     "unsafe_casts",
     "ExposureResult",
+    "analyze_encapsulation",
     "check_encapsulation",
     "encapsulated",
     "IMMUTABLE",
     "MUTATED",
     "ImmutabilityReport",
     "MutationSite",
+    "analyze_immutability",
     "check_immutable",
     "HOLDS",
     "INCONCLUSIVE",
     "VIOLATED",
     "ReachabilityResult",
+    "analyze_reachability",
     "assert_not_leaked",
     "assert_unreachable",
     "refute_reachability",

@@ -12,6 +12,7 @@ program to a potential failure.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -21,7 +22,8 @@ from ..pointsto import PointsToResult
 from ..pointsto.graph import AbsLoc
 from ..symbolic import SearchConfig
 from ..symbolic.stats import REFUTED, WITNESSED
-from .reachability import Refuter, _resolve_refuter
+from .reachability import Refuter, _finalize, _resolve_refuter
+from .result import AnalysisResult, AnalysisStats, make_result
 
 SAFE = "safe"
 POSSIBLY_UNSAFE = "possibly-unsafe"
@@ -43,7 +45,7 @@ class CastReport:
         return f"({self.cast.class_name}) {self.cast.src} in {self.method}: {self.status}"
 
 
-def check_casts(
+def _check_casts(
     pta: PointsToResult,
     config: Optional[SearchConfig] = None,
     engine: Optional[Refuter] = None,
@@ -115,5 +117,56 @@ def check_casts(
     return [r for r in reports if r is not None]
 
 
+def check_casts(
+    pta: PointsToResult,
+    config: Optional[SearchConfig] = None,
+    engine: Optional[Refuter] = None,
+    jobs: int = 1,
+    deadline: Optional[float] = None,
+) -> list[CastReport]:
+    """Deprecated: use :func:`analyze_casts` (or :func:`repro.api.analyze`)
+    for the normalized result protocol. Behavior is unchanged."""
+    warnings.warn(
+        "check_casts() is deprecated; use repro.clients.analyze_casts()"
+        " or repro.api.analyze()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _check_casts(pta, config, engine, jobs, deadline)
+
+
 def unsafe_casts(reports: list[CastReport]) -> list[CastReport]:
+    """Deprecated: filter ``analyze_casts(...).results`` instead."""
+    warnings.warn(
+        "unsafe_casts() is deprecated; filter analyze_casts(...).results"
+        " by status instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return [r for r in reports if r.status != SAFE]
+
+
+def analyze_casts(
+    pta: PointsToResult,
+    *,
+    config: Optional[SearchConfig] = None,
+    engine: Optional[Refuter] = None,
+    jobs: int = 1,
+    deadline: Optional[float] = None,
+) -> AnalysisResult:
+    """Normalized downcast-safety client: check every reachable cast and
+    report through the shared :class:`~repro.clients.result.AnalysisResult`
+    protocol. ``results`` are the familiar :class:`CastReport` objects in
+    program order."""
+    refuter = _resolve_refuter(pta, config, engine, jobs, deadline)
+    reports = _check_casts(pta, config, refuter)
+    report = _finalize(refuter, engine, "casts")
+    stats = AnalysisStats(items=len(reports))
+    for r in reports:
+        if r.status == SAFE:
+            stats.verified_items += 1
+        elif r.status == POSSIBLY_UNSAFE:
+            stats.violated_items += 1
+        else:
+            stats.inconclusive_items += 1
+    return make_result("casts", reports, stats, report)

@@ -12,6 +12,7 @@ client."""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -23,9 +24,11 @@ from .reachability import (
     INCONCLUSIVE,
     VIOLATED,
     Refuter,
+    _finalize,
+    _refute_reachability,
     _resolve_refuter,
-    refute_reachability,
 )
+from .result import AnalysisResult, AnalysisStats, make_result
 
 
 @dataclass
@@ -38,7 +41,7 @@ class ExposureResult:
     witnessed_path: Optional[list[HeapEdge]]
 
 
-def check_encapsulation(
+def _check_encapsulation(
     pta: PointsToResult,
     owner_class: str,
     field: str,
@@ -77,7 +80,7 @@ def check_encapsulation(
         for root in roots:
             if find_heap_path(pta.graph, root, rep) is None:
                 continue
-            inner = refute_reachability(pta, engine, root, rep, shared)
+            inner = _refute_reachability(pta, engine, root, rep, shared)
             results.append(
                 ExposureResult(
                     owner_class,
@@ -91,5 +94,62 @@ def check_encapsulation(
     return results
 
 
+def check_encapsulation(
+    pta: PointsToResult,
+    owner_class: str,
+    field: str,
+    config: Optional[SearchConfig] = None,
+    engine: Optional[Refuter] = None,
+    jobs: int = 1,
+    deadline: Optional[float] = None,
+) -> list[ExposureResult]:
+    """Deprecated: use :func:`analyze_encapsulation` (or
+    :func:`repro.api.analyze`) for the normalized result protocol.
+    Behavior is unchanged."""
+    warnings.warn(
+        "check_encapsulation() is deprecated; use"
+        " repro.clients.analyze_encapsulation() or repro.api.analyze()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _check_encapsulation(
+        pta, owner_class, field, config, engine, jobs, deadline
+    )
+
+
 def encapsulated(results: list[ExposureResult]) -> bool:
+    """Deprecated: use ``analyze_encapsulation(...).verified`` instead."""
+    warnings.warn(
+        "encapsulated() is deprecated; use"
+        " analyze_encapsulation(...).verified instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return all(r.status == HOLDS for r in results)
+
+
+def analyze_encapsulation(
+    pta: PointsToResult,
+    owner_class: str,
+    field: str,
+    *,
+    config: Optional[SearchConfig] = None,
+    engine: Optional[Refuter] = None,
+    jobs: int = 1,
+    deadline: Optional[float] = None,
+) -> AnalysisResult:
+    """Normalized encapsulation client. ``results`` are the candidate
+    :class:`ExposureResult` objects; ``verified`` means every candidate
+    exposure of ``owner_class.field``'s representation was refuted."""
+    refuter = _resolve_refuter(pta, config, engine, jobs, deadline)
+    results = _check_encapsulation(pta, owner_class, field, config, refuter)
+    report = _finalize(refuter, engine, "encapsulation")
+    stats = AnalysisStats(items=len(results))
+    for r in results:
+        if r.status == HOLDS:
+            stats.verified_items += 1
+        elif r.status == VIOLATED:
+            stats.violated_items += 1
+        else:
+            stats.inconclusive_items += 1
+    return make_result("encapsulation", results, stats, report)

@@ -13,6 +13,7 @@ class?* All refuted ⇒ immutability verified.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Union
 
@@ -22,7 +23,8 @@ from ..ir.program import INIT
 from ..pointsto import PointsToResult
 from ..symbolic import SearchConfig
 from ..symbolic.stats import REFUTED, WITNESSED
-from .reachability import Refuter, _resolve_refuter
+from .reachability import Refuter, _finalize, _resolve_refuter
+from .result import AnalysisResult, AnalysisStats, make_result
 
 IMMUTABLE = "immutable"
 MUTATED = "mutated"
@@ -49,7 +51,7 @@ class ImmutabilityReport:
         return self.status == IMMUTABLE
 
 
-def check_immutable(
+def _check_immutable(
     pta: PointsToResult,
     class_name: str,
     config: Optional[SearchConfig] = None,
@@ -113,3 +115,50 @@ def check_immutable(
             MutationSite(cmd.label, qname, cmd, status, result.witness_trace)
         )
     return ImmutabilityReport(class_name, overall, sites)
+
+
+def check_immutable(
+    pta: PointsToResult,
+    class_name: str,
+    config: Optional[SearchConfig] = None,
+    engine: Optional[Refuter] = None,
+    jobs: int = 1,
+    deadline: Optional[float] = None,
+) -> ImmutabilityReport:
+    """Deprecated: use :func:`analyze_immutability` (or
+    :func:`repro.api.analyze`) for the normalized result protocol.
+    Behavior is unchanged."""
+    warnings.warn(
+        "check_immutable() is deprecated; use"
+        " repro.clients.analyze_immutability() or repro.api.analyze()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _check_immutable(pta, class_name, config, engine, jobs, deadline)
+
+
+def analyze_immutability(
+    pta: PointsToResult,
+    class_name: str,
+    *,
+    config: Optional[SearchConfig] = None,
+    engine: Optional[Refuter] = None,
+    jobs: int = 1,
+    deadline: Optional[float] = None,
+) -> AnalysisResult:
+    """Normalized immutability client. ``results`` are the flagged
+    :class:`MutationSite` objects (``check_immutable(...).sites``); the
+    rollup status maps ``immutable``/``mutated``/``unknown`` onto the
+    shared ``verified``/``violated``/``inconclusive`` vocabulary."""
+    refuter = _resolve_refuter(pta, config, engine, jobs, deadline)
+    inner = _check_immutable(pta, class_name, config, refuter)
+    report = _finalize(refuter, engine, "immutability")
+    stats = AnalysisStats(items=len(inner.sites))
+    for site in inner.sites:
+        if site.status == "refuted":
+            stats.verified_items += 1
+        elif site.status == "witnessed":
+            stats.violated_items += 1
+        else:
+            stats.inconclusive_items += 1
+    return make_result("immutability", inner.sites, stats, report)

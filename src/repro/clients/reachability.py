@@ -13,6 +13,7 @@ parallel :class:`repro.engine.RefutationDriver`."""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Iterable, Optional, Union
 
@@ -20,6 +21,7 @@ from ..engine import RefutationDriver
 from ..pointsto import PointsToResult, find_heap_path
 from ..pointsto.graph import AbsLoc, HeapEdge, StaticFieldNode
 from ..symbolic import Engine, SearchConfig
+from .result import AnalysisResult, AnalysisStats, make_result
 
 HOLDS = "holds"  # the assertion is verified (all paths refuted)
 VIOLATED = "violated"  # a fully witnessed heap path exists
@@ -62,7 +64,7 @@ def _refute_path(
     return ((edge, refuter.refute_edge(edge)) for edge in path)
 
 
-def refute_reachability(
+def _refute_reachability(
     pta: PointsToResult,
     engine: Refuter,
     root: StaticFieldNode,
@@ -99,6 +101,27 @@ def refute_reachability(
             )
 
 
+def refute_reachability(
+    pta: PointsToResult,
+    engine: Refuter,
+    root: StaticFieldNode,
+    target: AbsLoc,
+    shared_refuted: Optional[set] = None,
+) -> ReachabilityResult:
+    """Deprecated alias for the single-pair refutation loop.
+
+    Use :func:`analyze_reachability` (or :func:`repro.api.analyze`) for the
+    normalized entry point; this shim remains for callers of the original
+    signature."""
+    warnings.warn(
+        "refute_reachability() is deprecated; use"
+        " repro.clients.analyze_reachability() or repro.api.analyze()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _refute_reachability(pta, engine, root, target, shared_refuted)
+
+
 def assert_unreachable(
     pta: PointsToResult,
     root_class: str,
@@ -128,7 +151,7 @@ def assert_unreachable(
     for target in sorted(targets, key=str):
         if find_heap_path(pta.graph, root, target) is None:
             continue  # not even flow-insensitively reachable
-        results.append(refute_reachability(pta, refuter, root, target, shared))
+        results.append(_refute_reachability(pta, refuter, root, target, shared))
     return results
 
 
@@ -161,10 +184,80 @@ def assert_not_leaked(
         for target in sorted(targets, key=str):
             if find_heap_path(pta.graph, root, target) is None:
                 continue
-            results.append(refute_reachability(pta, refuter, root, target, shared))
+            results.append(_refute_reachability(pta, refuter, root, target, shared))
     return results
 
 
 def verified(results: list[ReachabilityResult]) -> bool:
     """True when the assertion holds: every connected pair was refuted."""
     return all(r.status == HOLDS for r in results)
+
+
+def _finalize(
+    refuter: Refuter, engine: Optional[Refuter], command: str
+) -> Optional["object"]:
+    """Snapshot the run report and release the pool when we own the driver.
+
+    Every normalized ``analyze_*`` entry point funnels through here: if the
+    refuter is a :class:`RefutationDriver` its structured
+    :class:`~repro.engine.report.RunReport` is attached to the result, and
+    the worker pool is shut down unless the caller supplied the driver
+    (then its lifecycle is theirs)."""
+    report = None
+    if isinstance(refuter, RefutationDriver):
+        report = refuter.build_report(command=command)
+        if engine is None:
+            refuter.close()
+    return report
+
+
+def _tally_reachability(results: list[ReachabilityResult]) -> AnalysisStats:
+    stats = AnalysisStats(items=len(results))
+    for r in results:
+        if r.status == HOLDS:
+            stats.verified_items += 1
+        elif r.status == VIOLATED:
+            stats.violated_items += 1
+        else:
+            stats.inconclusive_items += 1
+    return stats
+
+
+def analyze_reachability(
+    pta: PointsToResult,
+    root_class: Optional[str] = None,
+    root_field: Optional[str] = None,
+    target_class: Optional[str] = None,
+    *,
+    site: Optional[str] = None,
+    config: Optional[SearchConfig] = None,
+    engine: Optional[Refuter] = None,
+    jobs: int = 1,
+    deadline: Optional[float] = None,
+) -> AnalysisResult:
+    """Normalized heap-reachability client.
+
+    Two flavors share one entry point: pass ``root_class``/``root_field``/
+    ``target_class`` to assert "no ``target_class`` instance is reachable
+    from the static field ``root_class.root_field``"
+    (:func:`assert_unreachable`), or pass ``site=`` to assert "nothing
+    allocated at this site escapes to any static field"
+    (:func:`assert_not_leaked`). Returns an
+    :class:`~repro.clients.result.AnalysisResult` whose ``results`` are the
+    familiar :class:`ReachabilityResult` objects."""
+    if site is None and None in (root_class, root_field, target_class):
+        raise ValueError(
+            "analyze_reachability needs either site=... or all of"
+            " root_class/root_field/target_class"
+        )
+    refuter = _resolve_refuter(pta, config, engine, jobs, deadline)
+    if site is not None:
+        results = assert_not_leaked(pta, site, config, refuter)
+    else:
+        results = assert_unreachable(
+            pta, root_class, root_field, target_class, config, refuter
+        )
+    report = _finalize(refuter, engine, "reachability")
+    return make_result(
+        "reachability", results, _tally_reachability(results), report
+    )

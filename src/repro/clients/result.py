@@ -1,0 +1,102 @@
+"""The shared result protocol every analysis client reports through.
+
+Historically the four clients each invented their own return shape
+(``list[CastReport]``, ``ImmutabilityReport``, ``list[ExposureResult]``,
+``list[ReachabilityResult]``) and their own notion of "verified". The
+:class:`AnalysisResult` protocol normalizes them: every client — and the
+:func:`repro.api.analyze` facade fronting them — answers with
+
+* ``verified`` — did the refuter discharge *every* obligation?
+* ``status`` — ``verified`` / ``violated`` / ``inconclusive`` (timeouts
+  prevented a verdict but nothing was witnessed);
+* ``results`` — the client's per-item detail objects, unchanged, so no
+  information the legacy entry points returned is lost;
+* ``stats`` — uniform obligation counts (:class:`AnalysisStats`);
+* ``report`` — the structured per-job :class:`~repro.engine.report.RunReport`
+  when the client ran on a driver it owns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..engine.report import RunReport
+
+VERIFIED = "verified"
+VIOLATED = "violated"
+INCONCLUSIVE = "inconclusive"
+
+
+@dataclass
+class AnalysisStats:
+    """Uniform per-obligation counts across every client."""
+
+    items: int = 0  # independent proof obligations examined
+    verified_items: int = 0  # discharged (refuted / proved safe)
+    violated_items: int = 0  # witnessed (a concrete path program survives)
+    inconclusive_items: int = 0  # timeout / budget prevented a verdict
+    seconds: float = 0.0  # driver wall-clock, when a driver ran the batch
+    path_programs: int = 0  # total search effort, when a driver ran it
+
+    def to_dict(self) -> dict:
+        return {
+            "items": self.items,
+            "verified_items": self.verified_items,
+            "violated_items": self.violated_items,
+            "inconclusive_items": self.inconclusive_items,
+            "seconds": self.seconds,
+            "path_programs": self.path_programs,
+        }
+
+
+@dataclass
+class AnalysisResult:
+    """What every client (and :func:`repro.api.analyze`) returns."""
+
+    client: str  # reachability | casts | immutability | encapsulation
+    verified: bool
+    status: str  # verified | violated | inconclusive
+    results: list = field(default_factory=list)
+    stats: AnalysisStats = field(default_factory=AnalysisStats)
+    report: Optional[RunReport] = None
+
+    def __str__(self) -> str:
+        s = self.stats
+        return (
+            f"{self.client}: {self.status}"
+            f" ({s.verified_items}/{s.items} obligations discharged"
+            f"{f', {s.violated_items} violated' if s.violated_items else ''}"
+            f"{f', {s.inconclusive_items} inconclusive' if s.inconclusive_items else ''})"
+        )
+
+
+def overall_status(stats: AnalysisStats) -> str:
+    """The uniform rollup: any witness ⇒ violated; else any timeout ⇒
+    inconclusive; else verified (vacuously verified when there were no
+    obligations — the up-front analysis already proved the property)."""
+    if stats.violated_items:
+        return VIOLATED
+    if stats.inconclusive_items:
+        return INCONCLUSIVE
+    return VERIFIED
+
+
+def make_result(
+    client: str,
+    results: list,
+    stats: AnalysisStats,
+    report: Optional[RunReport] = None,
+) -> AnalysisResult:
+    if report is not None:
+        stats.seconds = report.wall_seconds
+        stats.path_programs = report.path_programs
+    status = overall_status(stats)
+    return AnalysisResult(
+        client=client,
+        verified=status == VERIFIED,
+        status=status,
+        results=results,
+        stats=stats,
+        report=report,
+    )

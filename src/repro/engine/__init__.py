@@ -15,6 +15,7 @@ from .events import (
     ProgressPrinter,
     RunFinished,
     RunStarted,
+    SpanFinished,
 )
 from .report import EdgeRecord, RunReport
 
@@ -29,6 +30,7 @@ __all__ = [
     "ProgressPrinter",
     "RunFinished",
     "RunStarted",
+    "SpanFinished",
     "EdgeRecord",
     "RunReport",
 ]

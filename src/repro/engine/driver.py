@@ -34,8 +34,10 @@ import threading
 import time
 from concurrent.futures import Executor as _FuturesExecutor
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
 from typing import Callable, Optional, Sequence
 
+from ..obs import metrics, trace
 from ..pointsto import PointsToResult
 from ..pointsto.graph import HeapEdge
 from ..pointsto.producers import EdgeKey, edge_key
@@ -47,8 +49,14 @@ from .events import (
     EventBus,
     RunFinished,
     RunStarted,
+    SpanFinished,
 )
 from .report import EdgeRecord, RunReport
+
+_CACHE_HITS = metrics.counter("driver.cache_hits")
+_JOBS_DONE = metrics.counter("driver.jobs_completed")
+_JOB_SECONDS = metrics.histogram("driver.job_seconds")
+_BATCH_SECONDS = metrics.histogram("driver.batch_seconds")
 
 SERIAL = "serial"
 THREAD = "thread"
@@ -111,6 +119,13 @@ class RefutationDriver:
         self._pool: Optional[_FuturesExecutor] = None
         self._tls = threading.local()
         self._worker_counter = 0
+        #: Summed seconds per span name, fed by the active tracer (if any);
+        #: flows into RunReport.phase_seconds and SpanFinished bus events.
+        self._phase_seconds: dict[str, float] = {}
+        self._tracer = trace.get_tracer()
+        if self._tracer is not None:
+            self._tracer.add_sink(self._on_span)
+        metrics.gauge("driver.workers").set(jobs)
 
     # ------------------------------------------------------------------
     # Backend / pool management
@@ -155,12 +170,77 @@ class RefutationDriver:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._tracer is not None:
+            self._tracer.remove_sink(self._on_span)
+            self._tracer = None
 
     def __enter__(self) -> "RefutationDriver":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # Observability plumbing
+    # ------------------------------------------------------------------
+
+    def _on_span(self, record) -> None:
+        """Tracer sink: fold every finished span into the per-phase rollup
+        and forward it onto the event bus (progress printer, collectors)."""
+        with self._lock:
+            self._phase_seconds[record.name] = (
+                self._phase_seconds.get(record.name, 0.0) + record.duration
+            )
+        self.events.emit(
+            SpanFinished(
+                name=record.name,
+                seconds=record.duration,
+                thread=record.thread_name,
+                attrs=record.attrs,
+            )
+        )
+
+    @contextmanager
+    def _timed_batch(self, total: int, jobs: int, backend: str, kind: str):
+        """One batch of refutation jobs: RunStarted/RunFinished bracketing,
+        wall-clock accounting, and the batch's root span — the single
+        replacement for what used to be four copy-pasted
+        ``perf_counter`` start/elapsed blocks.
+
+        Yields the list the caller must append each job's
+        :class:`EdgeResult` to; RunFinished aggregates are computed from
+        it on exit.
+        """
+        self.events.emit(
+            RunStarted(
+                total_jobs=total,
+                jobs=jobs,
+                backend=backend,
+                deadline=self.config.deadline_seconds,
+            )
+        )
+        outcomes: list[EdgeResult] = []
+        start = time.perf_counter()
+        with trace.span("driver.batch", kind=kind, total=total, backend=backend):
+            yield outcomes
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self._wall_seconds += elapsed
+        _BATCH_SECONDS.observe(elapsed)
+        self.events.emit(
+            RunFinished(
+                refuted=sum(1 for r in outcomes if r.refuted),
+                witnessed=sum(1 for r in outcomes if r.witnessed),
+                timeouts=sum(1 for r in outcomes if r.timed_out),
+                seconds=elapsed,
+            )
+        )
+
+    @staticmethod
+    def _job_span(kind: str, description: str):
+        """The root span of one refutation job (``driver.job``); the
+        engine's ``executor.search`` span nests directly under it."""
+        return trace.span("driver.job", kind=kind, description=description)
 
     def _worker_engine(self) -> tuple[Engine, str]:
         """The calling thread's private engine (threads only)."""
@@ -183,8 +263,12 @@ class RefutationDriver:
         key = edge_key(edge)
         cached = self._cached(key)
         if cached is not None:
+            _CACHE_HITS.inc()
             return cached
-        result = self.engine.refute_edge(edge)
+        with self._job_span("edge", str(edge)):
+            result = self.engine.refute_edge(edge)
+        _JOBS_DONE.inc()
+        _JOB_SECONDS.observe(result.seconds)
         self._store(key, edge, result, SERIAL)
         return result
 
@@ -197,7 +281,6 @@ class RefutationDriver:
         cache; the rest run on the pool (or inline when ``jobs == 1``).
         Returns every requested edge's result keyed by its edge key.
         """
-        start = time.perf_counter()
         ordered: list[tuple[EdgeKey, HeapEdge]] = []
         seen: set[EdgeKey] = set()
         for edge in edges:
@@ -210,45 +293,32 @@ class RefutationDriver:
         for key, edge in ordered:
             cached = self._cached(key)
             if cached is not None:
+                _CACHE_HITS.inc()
                 results[key] = cached
             else:
                 todo.append((key, edge))
         total = len(ordered)
-        self.events.emit(
-            RunStarted(
-                total_jobs=total,
-                jobs=self.jobs,
-                backend=self.backend,
-                deadline=self.config.deadline_seconds,
-            )
-        )
-        done = 0
-        for index, (key, edge) in enumerate(ordered):
-            if key in results:
-                self._emit_finished(
-                    str(edge), results[key], SERIAL, done, total, cached=True
-                )
-                done += 1
-        if self.jobs == 1 or len(todo) <= 1:
-            for key, edge in todo:
-                result = self.engine.refute_edge(edge)
-                self._store(key, edge, result, SERIAL)
-                results[key] = result
-                self._emit_finished(str(edge), result, SERIAL, done, total)
-                done += 1
-        else:
-            done = self._run_parallel_edges(todo, results, done, total)
-        elapsed = time.perf_counter() - start
-        with self._lock:
-            self._wall_seconds += elapsed
-        self.events.emit(
-            RunFinished(
-                refuted=sum(1 for r in results.values() if r.refuted),
-                witnessed=sum(1 for r in results.values() if r.witnessed),
-                timeouts=sum(1 for r in results.values() if r.timed_out),
-                seconds=elapsed,
-            )
-        )
+        with self._timed_batch(total, self.jobs, self.backend, "edges") as outcomes:
+            done = 0
+            for index, (key, edge) in enumerate(ordered):
+                if key in results:
+                    self._emit_finished(
+                        str(edge), results[key], SERIAL, done, total, cached=True
+                    )
+                    done += 1
+            if self.jobs == 1 or len(todo) <= 1:
+                for key, edge in todo:
+                    with self._job_span("edge", str(edge)):
+                        result = self.engine.refute_edge(edge)
+                    _JOBS_DONE.inc()
+                    _JOB_SECONDS.observe(result.seconds)
+                    self._store(key, edge, result, SERIAL)
+                    results[key] = result
+                    self._emit_finished(str(edge), result, SERIAL, done, total)
+                    done += 1
+            else:
+                done = self._run_parallel_edges(todo, results, done, total)
+            outcomes.extend(results.values())
         return results
 
     def _run_parallel_edges(
@@ -282,7 +352,11 @@ class RefutationDriver:
 
     def _thread_refute_edge(self, edge: HeapEdge) -> tuple[EdgeResult, str]:
         engine, worker = self._worker_engine()
-        return engine.refute_edge(edge), worker
+        with self._job_span("edge", str(edge)):
+            result = engine.refute_edge(edge)
+        _JOBS_DONE.inc()
+        _JOB_SECONDS.observe(result.seconds)
+        return result, worker
 
     def refute_path(
         self, path: Sequence[HeapEdge]
@@ -298,37 +372,19 @@ class RefutationDriver:
         actually examined, in path order.
         """
         if self.jobs == 1:
-            start = time.perf_counter()
             total = len(path)
-            self.events.emit(
-                RunStarted(
-                    total_jobs=total,
-                    jobs=1,
-                    backend=SERIAL,
-                    deadline=self.config.deadline_seconds,
-                )
-            )
             out = []
-            for index, edge in enumerate(path):
-                cached = self._cached(edge_key(edge)) is not None
-                result = self.refute_edge(edge)
-                out.append((edge, result))
-                self._emit_finished(
-                    str(edge), result, SERIAL, index, total, cached=cached
-                )
-                if result.refuted:
-                    break
-            elapsed = time.perf_counter() - start
-            with self._lock:
-                self._wall_seconds += elapsed
-            self.events.emit(
-                RunFinished(
-                    refuted=sum(1 for _, r in out if r.refuted),
-                    witnessed=sum(1 for _, r in out if r.witnessed),
-                    timeouts=sum(1 for _, r in out if r.timed_out),
-                    seconds=elapsed,
-                )
-            )
+            with self._timed_batch(total, 1, SERIAL, "path") as outcomes:
+                for index, edge in enumerate(path):
+                    cached = self._cached(edge_key(edge)) is not None
+                    result = self.refute_edge(edge)
+                    out.append((edge, result))
+                    self._emit_finished(
+                        str(edge), result, SERIAL, index, total, cached=cached
+                    )
+                    if result.refuted:
+                        break
+                outcomes.extend(r for _, r in out)
             return out
         results = self.refute_edges(path)
         return [(edge, results[edge_key(edge)]) for edge in path]
@@ -344,63 +400,56 @@ class RefutationDriver:
         triples; results come back in request order regardless of the
         completion order on the pool.
         """
-        start = time.perf_counter()
         total = len(requests)
-        self.events.emit(
-            RunStarted(
-                total_jobs=total,
-                jobs=self.jobs,
-                backend=self.backend,
-                deadline=self.config.deadline_seconds,
-            )
-        )
         results: list[Optional[EdgeResult]] = [None] * total
-        if self.jobs == 1 or total <= 1:
-            for i, (label, bindings, description) in enumerate(requests):
-                result = self.engine.refute_fact_at(label, bindings)
-                results[i] = result
-                self._record_fact(description, result, SERIAL)
-                self._emit_finished(description, result, SERIAL, i, total)
-        else:
-            from concurrent.futures import as_completed
+        with self._timed_batch(total, self.jobs, self.backend, "facts") as outcomes:
+            if self.jobs == 1 or total <= 1:
+                for i, (label, bindings, description) in enumerate(requests):
+                    with self._job_span("fact", description):
+                        result = self.engine.refute_fact_at(label, bindings)
+                    _JOBS_DONE.inc()
+                    _JOB_SECONDS.observe(result.seconds)
+                    results[i] = result
+                    self._record_fact(description, result, SERIAL)
+                    self._emit_finished(description, result, SERIAL, i, total)
+            else:
+                from concurrent.futures import as_completed
 
-            pool = self._get_pool()
-            futures = {}
-            for i, (label, bindings, description) in enumerate(requests):
-                self.events.emit(
-                    EdgeScheduled(description=description, index=i, total=total)
-                )
-                if self.backend == PROCESS:
-                    fut = pool.submit(_process_refute_fact, label, bindings)
-                else:
-                    fut = pool.submit(self._thread_refute_fact, label, bindings)
-                futures[fut] = i
-            done = 0
-            for fut in as_completed(futures):
-                i = futures[fut]
-                result, worker = fut.result()
-                results[i] = result
-                description = requests[i][2]
-                self._record_fact(description, result, worker)
-                self._emit_finished(description, result, worker, done, total)
-                done += 1
-        elapsed = time.perf_counter() - start
-        with self._lock:
-            self._wall_seconds += elapsed
-        final = [r for r in results if r is not None]
-        self.events.emit(
-            RunFinished(
-                refuted=sum(1 for r in final if r.refuted),
-                witnessed=sum(1 for r in final if r.witnessed),
-                timeouts=sum(1 for r in final if r.timed_out),
-                seconds=elapsed,
-            )
-        )
+                pool = self._get_pool()
+                futures = {}
+                for i, (label, bindings, description) in enumerate(requests):
+                    self.events.emit(
+                        EdgeScheduled(description=description, index=i, total=total)
+                    )
+                    if self.backend == PROCESS:
+                        fut = pool.submit(_process_refute_fact, label, bindings)
+                    else:
+                        fut = pool.submit(
+                            self._thread_refute_fact, label, bindings, description
+                        )
+                    futures[fut] = i
+                done = 0
+                for fut in as_completed(futures):
+                    i = futures[fut]
+                    result, worker = fut.result()
+                    results[i] = result
+                    description = requests[i][2]
+                    self._record_fact(description, result, worker)
+                    self._emit_finished(description, result, worker, done, total)
+                    done += 1
+            final = [r for r in results if r is not None]
+            outcomes.extend(final)
         return final
 
-    def _thread_refute_fact(self, label, bindings) -> tuple[EdgeResult, str]:
+    def _thread_refute_fact(
+        self, label, bindings, description: str = "<fact>"
+    ) -> tuple[EdgeResult, str]:
         engine, worker = self._worker_engine()
-        return engine.refute_fact_at(label, bindings), worker
+        with self._job_span("fact", description):
+            result = engine.refute_fact_at(label, bindings)
+        _JOBS_DONE.inc()
+        _JOB_SECONDS.observe(result.seconds)
+        return result, worker
 
     # ------------------------------------------------------------------
     # Results, records, reports
@@ -472,6 +521,7 @@ class RefutationDriver:
                 path_budget=self.config.path_budget,
                 wall_seconds=self._wall_seconds,
                 records=list(self._records.values()),
+                phase_seconds=dict(self._phase_seconds),
             )
 
 

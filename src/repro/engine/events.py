@@ -64,6 +64,22 @@ class RunFinished:
     seconds: float
 
 
+@dataclass(frozen=True)
+class SpanFinished:
+    """One tracing span closed somewhere inside the pipeline.
+
+    Emitted only when a tracer is installed (``--trace``): the driver
+    forwards every finished span from :mod:`repro.obs.trace` onto its bus,
+    which is how the progress printer and the JSON run report acquire
+    per-phase timing without bespoke plumbing in each layer.
+    """
+
+    name: str  # span name, e.g. "executor.search"
+    seconds: float
+    thread: str  # name of the thread that ran the span
+    attrs: dict
+
+
 class EventBus:
     """Thread-safe fan-out of driver events to any number of sinks."""
 
@@ -91,9 +107,16 @@ class ProgressPrinter:
 
     def __init__(self, stream: Optional[TextIO] = None) -> None:
         self.stream = stream or sys.stderr
+        #: Per-phase totals accumulated from SpanFinished events (only
+        #: populated when tracing is on); printed after RunFinished.
+        self.phase_seconds: dict[str, float] = {}
 
     def __call__(self, event: Event) -> None:
-        if isinstance(event, RunStarted):
+        if isinstance(event, SpanFinished):
+            self.phase_seconds[event.name] = (
+                self.phase_seconds.get(event.name, 0.0) + event.seconds
+            )
+        elif isinstance(event, RunStarted):
             deadline = (
                 f", deadline {event.deadline}s/edge" if event.deadline else ""
             )
@@ -117,3 +140,9 @@ class ProgressPrinter:
                 f" {event.timeouts} timeout(s) in {event.seconds:.2f}s",
                 file=self.stream,
             )
+            if self.phase_seconds:
+                top = sorted(
+                    self.phase_seconds.items(), key=lambda kv: -kv[1]
+                )[:6]
+                breakdown = ", ".join(f"{n} {s:.2f}s" for n, s in top)
+                print(f"phases: {breakdown}", file=self.stream)

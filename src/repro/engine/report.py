@@ -69,6 +69,9 @@ class RunReport:
     path_budget: int = 0
     wall_seconds: float = 0.0
     records: list[EdgeRecord] = field(default_factory=list)
+    #: Summed seconds per pipeline phase (span name -> total), populated
+    #: from the span stream when tracing is enabled; empty otherwise.
+    phase_seconds: dict[str, float] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
     # -- aggregates -----------------------------------------------------------
@@ -129,6 +132,7 @@ class RunReport:
             path_budget=data.get("path_budget", 0),
             wall_seconds=data.get("wall_seconds", 0.0),
             records=records,
+            phase_seconds=data.get("phase_seconds", {}),
             schema_version=data.get("schema_version", SCHEMA_VERSION),
         )
 

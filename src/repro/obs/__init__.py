@@ -1,0 +1,37 @@
+"""Observability for the refutation pipeline: span tracing + metrics.
+
+Two complementary substrates (see docs/observability.md):
+
+* :mod:`repro.obs.trace` — hierarchical span tracing with a near-zero-cost
+  disabled default and Chrome trace-event JSON export (``--trace FILE``,
+  loadable in ``chrome://tracing`` / Perfetto);
+* :mod:`repro.obs.metrics` — an always-on process-wide registry of named
+  counters, gauges, and p50/p95 histograms (``--metrics FILE``).
+
+Usage from pipeline code::
+
+    from ..obs import metrics, trace
+
+    _SEARCHES = metrics.counter("executor.searches")
+
+    with trace.span("executor.search", edge=str(edge)) as sp:
+        ...
+        sp.set(status=result.status)
+    _SEARCHES.inc()
+"""
+
+from . import metrics, trace
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, REGISTRY
+from .trace import SpanRecord, Tracer
+
+__all__ = [
+    "metrics",
+    "trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "SpanRecord",
+    "Tracer",
+]

@@ -21,6 +21,7 @@ from typing import Iterable, Optional
 from ..ir import instructions as ins
 from ..ir.program import IRProgram
 from ..ir.stmts import walk_commands
+from ..obs import metrics, trace
 from .context import ContextInsensitive, ContextPolicy
 from .graph import (
     ELEMS,
@@ -82,6 +83,11 @@ class AndersenSolver:
         self._deferred: dict[Node, list[_DeferredOp]] = {}
         self._worklist: deque[Node] = deque()
         self._analyzed: set[tuple[str, Context]] = set()
+        # Local effort tallies, flushed to the metrics registry once per
+        # solve() — the worklist loop is far too hot for per-pop locking.
+        self._pops = 0
+        self._pts_updates = 0
+        self._deferred_applied = 0
 
     # -- constraint-graph primitives -------------------------------------------
 
@@ -93,6 +99,7 @@ class AndersenSolver:
         new = set(locs) - current
         if new:
             current.update(new)
+            self._pts_updates += len(new)
             self._worklist.append(node)
 
     def _add_copy(self, src: Node, dst: Node) -> None:
@@ -113,21 +120,31 @@ class AndersenSolver:
             if self.program.entry is None:
                 raise ValueError("program has no entry; pass roots explicitly")
             roots = [self.program.entry]
-        for root in roots:
-            self._ensure_analyzed(root, ())
-        while self._worklist:
-            node = self._worklist.popleft()
-            pts = self._pts(node)
-            for op in self._deferred.get(node, []):
-                new = pts - op.done
-                if not new:
-                    continue
-                op.done.update(new)
-                for loc in new:
-                    self._apply_op(op, loc)
-            for succ in self._succ.get(node, set()):
-                self._add_pts(succ, pts)
-        self.graph.seal()
+        with trace.span("pointsto.solve", roots=len(roots)) as sp:
+            for root in roots:
+                self._ensure_analyzed(root, ())
+            while self._worklist:
+                node = self._worklist.popleft()
+                self._pops += 1
+                pts = self._pts(node)
+                for op in self._deferred.get(node, []):
+                    new = pts - op.done
+                    if not new:
+                        continue
+                    op.done.update(new)
+                    self._deferred_applied += len(new)
+                    for loc in new:
+                        self._apply_op(op, loc)
+                for succ in self._succ.get(node, set()):
+                    self._add_pts(succ, pts)
+            self.graph.seal()
+            sp.set(pops=self._pops, methods=len(self._analyzed))
+        metrics.counter("pointsto.worklist_pops").inc(self._pops)
+        metrics.counter("pointsto.pts_updates").inc(self._pts_updates)
+        metrics.counter("pointsto.deferred_applied").inc(self._deferred_applied)
+        metrics.counter("pointsto.methods_analyzed").inc(len(self._analyzed))
+        metrics.counter("pointsto.solves").inc()
+        self._pops = self._pts_updates = self._deferred_applied = 0
 
     def _apply_op(self, op: _DeferredOp, loc: AbsLoc) -> None:
         if op.kind == "load":

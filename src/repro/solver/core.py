@@ -22,15 +22,27 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from ..obs import metrics, trace
 from .terms import NULL, Atom, LinAtom, LinExpr, RefAtom, Var, _NullConst, tighten
 from .unionfind import UnionFind
 
 # Beyond this many ≤-atoms during elimination we give up and report SAT.
 FM_ATOM_BUDGET = 400
 
+# Process-wide mirrors of the per-context SolverStats counters; the
+# canonical cross-run aggregate (dumped by --metrics) lives in the
+# repro.obs registry, while SolverStats instances stay around as the
+# per-search compatibility view.
+_CHECKS = metrics.counter("solver.checks")
+_UNSAT = metrics.counter("solver.unsat")
+_GIVEUPS = metrics.counter("solver.fm_giveups")
+_ENTAILS = metrics.counter("solver.entails")
+_CHECK_ATOMS = metrics.histogram("solver.check_atoms")
+
 
 class SolverStats:
-    """Cumulative counters, handy in the evaluation harness."""
+    """Per-search counters (compatibility view over the repro.obs registry:
+    the process-wide totals live in ``solver.*`` metrics)."""
 
     def __init__(self) -> None:
         self.checks = 0
@@ -60,28 +72,35 @@ def check_sat(
     """
     stats = stats or GLOBAL_STATS
     stats.checks += 1
+    _CHECKS.inc()
     atoms = list(atoms)
+    _CHECK_ATOMS.observe(len(atoms))
     nonnull = nonnull or frozenset()
 
-    ref_atoms = [a for a in atoms if isinstance(a, RefAtom)]
-    lin_atoms = [a for a in atoms if isinstance(a, LinAtom)]
+    with trace.span("solver.check_sat"):
+        ref_atoms = [a for a in atoms if isinstance(a, RefAtom)]
+        lin_atoms = [a for a in atoms if isinstance(a, LinAtom)]
 
-    if not _check_refs(ref_atoms, nonnull):
-        stats.unsat += 1
-        return False
+        if not _check_refs(ref_atoms, nonnull):
+            stats.unsat += 1
+            _UNSAT.inc()
+            return False
 
-    if not _check_linear(lin_atoms, stats):
-        stats.unsat += 1
-        return False
-    return True
+        if not _check_linear(lin_atoms, stats):
+            stats.unsat += 1
+            _UNSAT.inc()
+            return False
+        return True
 
 
 def entails(stronger: Iterable[Atom], weaker: Iterable[Atom]) -> bool:
     """Conservative syntactic entailment: every atom of ``weaker`` appears
     in ``stronger`` (after normalization). Used by query subsumption, where
     a miss only costs re-exploration, never soundness."""
-    have = {_normalize(a) for a in stronger}
-    return all(_normalize(a) in have for a in weaker)
+    _ENTAILS.inc()
+    with trace.span("solver.entails"):
+        have = {_normalize(a) for a in stronger}
+        return all(_normalize(a) in have for a in weaker)
 
 
 def _normalize(atom: Atom) -> Atom:
@@ -205,6 +224,7 @@ def _fm_feasible(les: list[LinExpr], stats: SolverStats) -> bool:
             return True
         if len(system) > FM_ATOM_BUDGET:
             stats.fm_giveups += 1
+            _GIVEUPS.inc()
             return True  # give up: conservatively satisfiable
         # Pick the variable with the fewest pos*neg combinations.
         occurrences: dict[Var, tuple[int, int]] = {}

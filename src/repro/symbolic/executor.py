@@ -31,6 +31,7 @@ from typing import Optional, Union
 from ..ir import instructions as ins
 from ..ir.program import IRProgram
 from ..ir.stmts import AtomicStmt, Choice, Loop, Seq, Stmt
+from ..obs import metrics, trace
 from ..pointsto import ELEMS, PointsToResult
 from ..pointsto.graph import HeapEdge
 from ..pointsto.modref import ModSet
@@ -44,6 +45,19 @@ from .transfer import TransferContext, transfer_command
 
 # Continuation: a cons-list of tasks; () is the empty continuation.
 Cons = tuple  # (Task, Cons) | ()
+
+# Per-search effort distributions (the raw material of Table 1's Effort
+# columns, now first-class in the metrics registry).
+_PATH_PROGRAMS = metrics.histogram("executor.path_programs")
+_SEARCH_SECONDS = metrics.histogram("executor.search_seconds")
+_SOLVER_CALLS = metrics.histogram("executor.solver_calls_per_search")
+
+
+def _observe_search(result: "EdgeResult", solver_calls: int) -> None:
+    _PATH_PROGRAMS.observe(result.path_programs)
+    _SEARCH_SECONDS.observe(result.seconds)
+    _SOLVER_CALLS.observe(solver_calls)
+    metrics.counter(f"executor.{result.status}").inc()
 
 
 @dataclass(frozen=True)
@@ -117,6 +131,7 @@ class Engine:
         if key in self._edge_cache:
             return self._edge_cache[key]
         start = time.perf_counter()
+        checks_before = self.ctx.solver_stats.checks
         self._budget_left = self.config.path_budget
         self._arm_deadline(start)
         self._history = QueryHistory(enabled=self.config.simplify_queries)
@@ -128,19 +143,23 @@ class Engine:
             # No statement can produce the edge (e.g. already suppressed by
             # an annotation): vacuously refuted.
             status = REFUTED
-        try:
-            for label in producers:
-                state = self._initial_state(edge, label)
-                if state is None:
-                    continue  # this producer is trivially refuted
-                result_state = self._search([state])
-                if result_state is not None:
-                    status = WITNESSED
-                    witness_trace = _materialize(result_state.trace)
-                    break
-        except SearchTimeout:
-            status = TIMEOUT
-        explored = self.config.path_budget - self._budget_left
+        with trace.span(
+            "executor.search", edge=str(edge), producers=len(producers)
+        ) as sp:
+            try:
+                for label in producers:
+                    state = self._initial_state(edge, label)
+                    if state is None:
+                        continue  # this producer is trivially refuted
+                    result_state = self._search([state])
+                    if result_state is not None:
+                        status = WITNESSED
+                        witness_trace = _materialize(result_state.trace)
+                        break
+            except SearchTimeout:
+                status = TIMEOUT
+            explored = self.config.path_budget - self._budget_left
+            sp.set(status=status, path_programs=explored)
         result = EdgeResult(
             edge=edge,
             status=status,
@@ -152,6 +171,7 @@ class Engine:
         self.stats.record(result)
         self.stats.history_drops = self._history.drops
         self._edge_cache[key] = result
+        _observe_search(result, self.ctx.solver_stats.checks - checks_before)
         return result
 
     def edge_results(self) -> dict:
@@ -174,6 +194,7 @@ class Engine:
         paper's introduction sketches (cast checking, escape analysis,
         assertion checking)."""
         start = time.perf_counter()
+        checks_before = self.ctx.solver_stats.checks
         baseline = budget if budget is not None else self.config.path_budget
         self._budget_left = baseline
         self._arm_deadline(start)
@@ -186,17 +207,19 @@ class Engine:
                 break
         status = REFUTED
         witness_trace: Optional[list[int]] = None
-        if not q.failed and q.check_sat(self.ctx.solver_stats):
-            k = self._continuation_before(method.qualified_name, label)
-            state = PathState(k, q, (label, ()))
-            try:
-                self._spend()
-                found = self._search([state])
-                if found is not None:
-                    status = WITNESSED
-                    witness_trace = _materialize(found.trace)
-            except SearchTimeout:
-                status = TIMEOUT
+        with trace.span("executor.search", fact_label=label) as sp:
+            if not q.failed and q.check_sat(self.ctx.solver_stats):
+                k = self._continuation_before(method.qualified_name, label)
+                state = PathState(k, q, (label, ()))
+                try:
+                    self._spend()
+                    found = self._search([state])
+                    if found is not None:
+                        status = WITNESSED
+                        witness_trace = _materialize(found.trace)
+                except SearchTimeout:
+                    status = TIMEOUT
+            sp.set(status=status, path_programs=baseline - self._budget_left)
         result = EdgeResult(
             edge=None,  # type: ignore[arg-type]
             status=status,
@@ -205,6 +228,7 @@ class Engine:
             refutation_kinds=dict(self.ctx.refutations),
             witness_trace=witness_trace,
         )
+        _observe_search(result, self.ctx.solver_stats.checks - checks_before)
         return result
 
     # ------------------------------------------------------------------

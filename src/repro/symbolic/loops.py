@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..obs import metrics, trace
 from ..pointsto.modref import ModSet
 from .config import LoopInference
 from .query import Query
@@ -34,10 +35,22 @@ if TYPE_CHECKING:  # pragma: no cover
     from .executor import Engine
     from ..ir.stmts import Loop
 
+_SATURATIONS = metrics.counter("executor.loop_saturations")
+_INVARIANT_SIZE = metrics.histogram("executor.loop_invariant_size")
+
 
 def saturate(engine: "Engine", loop: "Loop", query: Query) -> list[Query]:
     """Queries to propagate to the program point before ``loop``, given an
     incoming query at the loop head."""
+    _SATURATIONS.inc()
+    with trace.span("executor.loop_invariant", loop=loop.label) as sp:
+        invariant = _saturate(engine, loop, query)
+        sp.set(disjuncts=len(invariant))
+    _INVARIANT_SIZE.observe(len(invariant))
+    return invariant
+
+
+def _saturate(engine: "Engine", loop: "Loop", query: Query) -> list[Query]:
     cfg = engine.ctx.config
     mod = engine.pta.modref.statement_mod(loop.body)
     baseline_size = query.memory_size()

@@ -20,6 +20,8 @@ from ..ir import instructions as ins
 from ..ir.interp import ConcreteObject, Interpreter, Limits, _Frame, _State
 from ..ir.program import IRProgram
 from ..ir.stmts import AtomicStmt, Choice, Loop, Seq, Stmt, walk_commands
+from ..obs import metrics
+from ..obs import trace as obs_trace
 
 
 @dataclass
@@ -199,9 +201,15 @@ def replay_witness(
     """Validate a witness trace by guided concrete execution."""
     if not trace:
         return ReplayResult(False, "no trace to replay")
-    interp = _GuidedInterpreter(
-        program,
-        trace,
-        limits or Limits(max_loop_iterations=6, max_steps=60_000, max_paths=512),
-    )
-    return interp.run_guided()
+    metrics.counter("executor.replays").inc()
+    with obs_trace.span("executor.replay", trace_len=len(trace)) as sp:
+        interp = _GuidedInterpreter(
+            program,
+            trace,
+            limits or Limits(max_loop_iterations=6, max_steps=60_000, max_paths=512),
+        )
+        result = interp.run_guided()
+        sp.set(validated=result.validated)
+    if result.validated:
+        metrics.counter("executor.replays_validated").inc()
+    return result

@@ -1,0 +1,278 @@
+"""Tests for the ``repro.api`` facade and the normalized client protocol."""
+
+import warnings
+
+import pytest
+
+from repro.api import CLIENTS, AnalysisRequest, AnalysisResult, analyze
+from repro.clients import (
+    POSSIBLY_UNSAFE,
+    analyze_casts,
+    analyze_encapsulation,
+    analyze_immutability,
+    analyze_reachability,
+)
+from repro.engine import RunReport
+from repro.ir import compile_program
+from repro.pointsto import analyze as pointsto_analyze
+
+CAST_SAFE = (
+    "class A { } class B { } class M { static void main() {"
+    " int tag = 0;"
+    " Object o = new A();"
+    " if (tag == 1) { o = new B(); }"
+    " A a = (A) o; } }"
+)
+CAST_UNSAFE = (
+    "class A { } class B { } class M { static void main() {"
+    " Object o = new B(); A a = (A) o; } }"
+)
+IMMUTABLE_SRC = (
+    "class Point { int x; Point(int x) { this.x = x; } }"
+    " class M { static void main() {"
+    " Point p = new Point(1);"
+    " int debug = 0;"
+    " if (debug == 1) { p.x = 9; } } }"
+)
+MUTATED_SRC = (
+    "class Point { int x; Point(int x) { this.x = x; } }"
+    " class M { static void main() {"
+    " Point p = new Point(1); p.x = 2; } }"
+)
+LEAKED_REP_SRC = (
+    "class Rep { } class Owner { Rep rep;"
+    "   Owner() { this.rep = new Rep(); }"
+    "   Rep expose() { return this.rep; } }"
+    " class M { static Rep stolen; static void main() {"
+    " Owner o = new Owner(); M.stolen = o.expose(); } }"
+)
+REACH_VERIFIED_SRC = (
+    "class Secret { } class M { static Object pub;"
+    " static void main() {"
+    " Object o = new Object();"
+    " int k = 0;"
+    " if (k == 5) { o = new Secret(); }"
+    " M.pub = o; } }"
+)
+
+
+def pta_of(source):
+    return pointsto_analyze(compile_program(source))
+
+
+class TestFacade:
+    def test_casts_from_source(self):
+        result = analyze(client="casts", source=CAST_SAFE)
+        assert isinstance(result, AnalysisResult)
+        assert result.client == "casts"
+        assert result.verified and result.status == "verified"
+        assert result.stats.items == 1 and result.stats.verified_items == 1
+        assert isinstance(result.report, RunReport)
+        assert result.report.command == "casts"
+        assert len(result.report.records) == 1  # one non-trivial cast job
+
+    def test_casts_violated(self):
+        result = analyze(client="casts", source=CAST_UNSAFE)
+        assert not result.verified
+        assert result.status == "violated"
+        assert result.stats.violated_items == 1
+        assert result.results[0].status == POSSIBLY_UNSAFE
+
+    def test_request_object_and_prebuilt_stages(self):
+        # The same analysis from source, program, and pta must agree.
+        program = compile_program(CAST_UNSAFE)
+        pta = pointsto_analyze(program)
+        by_source = analyze(AnalysisRequest(client="casts", source=CAST_UNSAFE))
+        by_program = analyze(AnalysisRequest(client="casts", program=program))
+        by_pta = analyze(AnalysisRequest(client="casts", pta=pta))
+        assert by_source.status == by_program.status == by_pta.status
+        assert (
+            by_source.stats.to_dict()["items"]
+            == by_program.stats.to_dict()["items"]
+            == by_pta.stats.to_dict()["items"]
+        )
+
+    def test_immutability(self):
+        ok = analyze(client="immutability", source=IMMUTABLE_SRC, class_name="Point")
+        assert ok.verified
+        assert ok.stats.items == 1 and ok.stats.verified_items == 1
+        bad = analyze(client="immutability", source=MUTATED_SRC, class_name="Point")
+        assert bad.status == "violated"
+
+    def test_encapsulation(self):
+        result = analyze(
+            client="encapsulation",
+            source=LEAKED_REP_SRC,
+            owner_class="Owner",
+            field_name="rep",
+        )
+        assert result.status == "violated"
+        assert any(str(r.root) == "M.stolen" for r in result.results)
+
+    def test_reachability(self):
+        result = analyze(
+            client="reachability",
+            source=REACH_VERIFIED_SRC,
+            root_class="M",
+            root_field="pub",
+            target_class="Secret",
+        )
+        assert result.verified
+        assert result.stats.items == 1
+
+    def test_reachability_site_flavor(self):
+        src = (
+            "class Box { Object v; } class M { static Box keep;"
+            " static void main() {"
+            " Box local = new Box();"
+            " Box kept = new Box();"
+            " M.keep = kept; } }"
+        )
+        assert analyze(client="reachability", source=src, site="box0").verified
+        leaked = analyze(client="reachability", source=src, site="box1")
+        assert leaked.status == "violated"
+
+    def test_budget_and_jobs_knobs(self):
+        result = analyze(
+            client="casts", source=CAST_UNSAFE, jobs=2, budget=500
+        )
+        assert result.report.jobs == 2
+        assert result.report.path_budget == 500
+
+    def test_context_policy_knob(self):
+        from repro.pointsto import ObjectSensitive
+
+        result = analyze(
+            client="casts",
+            source=CAST_UNSAFE,
+            context_policy=ObjectSensitive(2),
+        )
+        assert result.status == "violated"
+        with pytest.raises(ValueError, match="context_policy"):
+            analyze(
+                client="casts",
+                pta=pta_of(CAST_UNSAFE),
+                context_policy=ObjectSensitive(2),
+            )
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError, match="unknown client"):
+            analyze(client="nonsense", source=CAST_SAFE)
+        with pytest.raises(ValueError, match="source=, program=, or pta="):
+            analyze(client="casts")
+        with pytest.raises(ValueError, match="class_name"):
+            analyze(client="immutability", source=IMMUTABLE_SRC)
+        with pytest.raises(ValueError, match="owner_class"):
+            analyze(client="encapsulation", source=LEAKED_REP_SRC)
+        with pytest.raises(ValueError, match="root_class"):
+            analyze(client="reachability", source=REACH_VERIFIED_SRC)
+        with pytest.raises(TypeError, match="not both"):
+            analyze(AnalysisRequest(client="casts", source=CAST_SAFE), jobs=2)
+
+    def test_clients_constant_covers_all_four(self):
+        assert set(CLIENTS) == {
+            "reachability", "casts", "immutability", "encapsulation",
+        }
+
+    def test_top_level_reexports(self):
+        import repro
+
+        assert repro.AnalysisRequest is AnalysisRequest
+        assert repro.api.analyze is analyze
+        # The historical export is untouched: repro.analyze is points-to.
+        assert repro.analyze is pointsto_analyze
+
+
+class TestParityWithLegacyEntryPoints:
+    """The normalized entry points wrap — not reimplement — the originals."""
+
+    def test_casts_parity(self):
+        pta = pta_of(CAST_UNSAFE)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.clients import check_casts
+
+            legacy = check_casts(pta)
+        modern = analyze_casts(pta)
+        assert [(r.label, r.status) for r in legacy] == [
+            (r.label, r.status) for r in modern.results
+        ]
+
+    def test_immutability_parity(self):
+        pta = pta_of(MUTATED_SRC)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.clients import check_immutable
+
+            legacy = check_immutable(pta, "Point")
+        modern = analyze_immutability(pta, "Point")
+        assert modern.verified == legacy.verified
+        assert [(s.label, s.status) for s in legacy.sites] == [
+            (s.label, s.status) for s in modern.results
+        ]
+
+    def test_encapsulation_parity(self):
+        pta = pta_of(LEAKED_REP_SRC)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.clients import check_encapsulation, encapsulated
+
+            legacy = check_encapsulation(pta, "Owner", "rep")
+            legacy_ok = encapsulated(legacy)
+        modern = analyze_encapsulation(pta, "Owner", "rep")
+        assert modern.verified == legacy_ok
+        assert [(str(r.root), r.status) for r in legacy] == [
+            (str(r.root), r.status) for r in modern.results
+        ]
+
+    def test_reachability_parity(self):
+        pta = pta_of(REACH_VERIFIED_SRC)
+        from repro.clients import assert_unreachable, verified
+
+        legacy = assert_unreachable(pta, "M", "pub", "Secret")
+        modern = analyze_reachability(pta, "M", "pub", "Secret")
+        assert modern.verified == verified(legacy)
+        assert [r.status for r in legacy] == [r.status for r in modern.results]
+
+
+class TestDeprecationShims:
+    def test_every_legacy_entry_point_warns(self):
+        from repro import clients
+
+        pta = pta_of(CAST_SAFE)
+        with pytest.warns(DeprecationWarning, match="check_casts"):
+            reports = clients.check_casts(pta)
+        with pytest.warns(DeprecationWarning, match="unsafe_casts"):
+            clients.unsafe_casts(reports)
+        pta_i = pta_of(IMMUTABLE_SRC)
+        with pytest.warns(DeprecationWarning, match="check_immutable"):
+            clients.check_immutable(pta_i, "Point")
+        pta_e = pta_of(LEAKED_REP_SRC)
+        with pytest.warns(DeprecationWarning, match="check_encapsulation"):
+            results = clients.check_encapsulation(pta_e, "Owner", "rep")
+        with pytest.warns(DeprecationWarning, match="encapsulated"):
+            clients.encapsulated(results)
+
+    def test_refute_reachability_shim_warns_and_works(self):
+        from repro.clients import refute_reachability
+        from repro.pointsto import StaticFieldNode, find_heap_path
+        from repro.symbolic import Engine
+
+        pta = pta_of(REACH_VERIFIED_SRC)
+        root = StaticFieldNode("M", "pub")
+        target = next(
+            loc
+            for loc in pta.graph.all_abs_locs()
+            if loc.class_name == "Secret"
+        )
+        assert find_heap_path(pta.graph, root, target) is not None
+        with pytest.warns(DeprecationWarning, match="refute_reachability"):
+            result = refute_reachability(pta, Engine(pta), root, target)
+        assert result.status == "holds"
+
+    def test_normalized_entry_points_do_not_warn(self):
+        pta = pta_of(CAST_SAFE)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            analyze_casts(pta)
+            analyze(client="casts", pta=pta)
