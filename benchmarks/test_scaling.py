@@ -10,11 +10,23 @@ same way:
 * container replication: the Figure 1 refutation, N times over.
 """
 
+import json
+import os
+import time
+
 import pytest
 
 from repro.android.leaks import LeakChecker
 from repro.bench.workloads import branchy_app, chain_app, container_app
+from repro.obs import metrics
+from repro.perf.memo import SOLVER_MEMO
 from repro.symbolic import SearchConfig
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+#: Smoke mode (CI): the same ablation grid on a smaller workload so the
+#: artifact is produced in seconds instead of a minute.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 
 
 @pytest.mark.parametrize("depth", [1, 4, 8])
@@ -97,3 +109,127 @@ def test_parallel_driver_scaling(benchmark, tables, jobs):
             f" wall={report.seconds:.2f}s",
         )
     )
+
+
+# -- memoization & subsumption ablation (emits BENCH_refute.json) -------------
+
+_ABLATION_METRICS = (
+    "solver.checks",
+    "solver.entails",
+    "executor.states_explored",
+    "solver.memo_hits",
+    "solver.memo_misses",
+    "executor.refuted_cache_hits",
+    "executor.refuted_cache_misses",
+    "executor.worklist_subsumed",
+)
+
+
+def _registry_snapshot() -> dict:
+    out = {}
+    for name in _ABLATION_METRICS:
+        instrument = metrics.REGISTRY.get(name)
+        out[name] = instrument.value if instrument is not None else 0
+    return out
+
+
+def _rate(hits: int, misses: int) -> float:
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def _ablation_run(source: str, name: str, budget: int, **toggles) -> dict:
+    """One cold leak-check run; counter deltas + wall clock."""
+    SOLVER_MEMO.clear()  # cold memo: runs must not feed each other
+    before = _registry_snapshot()
+    started = time.perf_counter()
+    report = LeakChecker(
+        source, name, config=SearchConfig(path_budget=budget, **toggles)
+    ).run()
+    wall = time.perf_counter() - started
+    delta = {k: v - before[k] for k, v in _registry_snapshot().items()}
+    return {
+        "wall_seconds": round(wall, 4),
+        "solver_calls": delta["solver.checks"],
+        "entails_calls": delta["solver.entails"],
+        "states_explored": delta["executor.states_explored"],
+        "memo_hit_rate": round(
+            _rate(delta["solver.memo_hits"], delta["solver.memo_misses"]), 4
+        ),
+        "refuted_cache_hit_rate": round(
+            _rate(
+                delta["executor.refuted_cache_hits"],
+                delta["executor.refuted_cache_misses"],
+            ),
+            4,
+        ),
+        "worklist_subsumed": delta["executor.worklist_subsumed"],
+        "alarms": report.num_alarms,
+        "refuted": report.refuted_alarms,
+        "toggles": toggles,
+    }
+
+
+def test_memoization_ablation_emits_bench_refute():
+    """The canonical perf artifact: the largest scaling configuration run
+    under the full toggle grid, written to ``benchmarks/out/BENCH_refute.json``
+    so the trajectory (solver calls, states, wall clock, hit rates) is
+    comparable across PRs.
+
+    The acceptance bar for the repro.perf layer: caches-on must need at
+    most half the solver calls of ``--no-memo --no-subsumption``."""
+    branches, budget = (8, 20_000) if SMOKE else (12, 40_000)
+    source = branchy_app(branches, leaky=False)
+    name = f"ablation-branchy{branches}"
+
+    grid = {
+        "cached": dict(memoize_solver=True, state_subsumption=True),
+        "memo_only": dict(memoize_solver=True, state_subsumption=False),
+        "subsumption_only": dict(memoize_solver=False, state_subsumption=True),
+        "no_caches": dict(memoize_solver=False, state_subsumption=False),
+    }
+    results = {
+        label: _ablation_run(source, f"{name}-{label}", budget, **toggles)
+        for label, toggles in grid.items()
+    }
+
+    cached, baseline = results["cached"], results["no_caches"]
+    # Verdict parity across the whole grid (the caches prune work, never
+    # change answers).
+    assert len({(r["alarms"], r["refuted"]) for r in results.values()}) == 1
+    reduction = baseline["solver_calls"] / max(1, cached["solver_calls"])
+    speedup = baseline["wall_seconds"] / max(1e-9, cached["wall_seconds"])
+    assert reduction >= 2.0, (
+        f"memoization+subsumption must at least halve solver calls, got"
+        f" {reduction:.2f}x ({baseline['solver_calls']} ->"
+        f" {cached['solver_calls']})"
+    )
+    if not SMOKE:
+        # The full-size run is seconds long, so the wall-clock win is well
+        # above timer noise; smoke mode only records it.
+        assert speedup > 1.0, f"no wall-clock win: {speedup:.2f}x"
+
+    os.makedirs(OUT_DIR, exist_ok=True)
+    payload = {
+        "benchmark": "scaling_ablation",
+        "workload": f"branchy_app({branches}, leaky=False)",
+        "path_budget": budget,
+        "smoke": SMOKE,
+        "configs": results,
+        "summary": {
+            "solver_call_reduction": round(reduction, 2),
+            "wall_clock_speedup": round(speedup, 2),
+        },
+        "schema_version": 1,
+    }
+    targets = [os.path.join(OUT_DIR, "BENCH_refute.json")]
+    if not SMOKE:
+        # The full-size run refreshes the committed trajectory file at the
+        # repo root (benchmarks/out/ is ephemeral and gitignored).
+        targets.append(
+            os.path.join(os.path.dirname(__file__), "..", "BENCH_refute.json")
+        )
+    for target in targets:
+        with open(target, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")

@@ -68,6 +68,10 @@ class AnalysisRequest:
     jobs: int = 1
     deadline: Optional[float] = None
     budget: Optional[int] = None  # path_budget override
+    #: Cache toggles (repro.perf): ``None`` keeps the config's value,
+    #: ``False`` ablates the layer (CLI --no-memo / --no-subsumption).
+    memoize: Optional[bool] = None
+    subsumption: Optional[bool] = None
     config: Optional[SearchConfig] = None
     on_event: Optional[Callable[[object], None]] = None
 
@@ -101,6 +105,10 @@ def _resolve_config(request: AnalysisRequest) -> SearchConfig:
     config = request.config or SearchConfig()
     if request.budget is not None:
         config = config.copy(path_budget=request.budget)
+    if request.memoize is not None:
+        config = config.copy(memoize_solver=request.memoize)
+    if request.subsumption is not None:
+        config = config.copy(state_subsumption=request.subsumption)
     return config
 
 

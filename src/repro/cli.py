@@ -24,6 +24,10 @@ share the parallel-driver flags:
     Write the structured per-edge run report (JSON) to PATH.
 ``--progress``
     Stream per-edge progress lines to stderr as jobs finish.
+``--no-memo`` / ``--no-subsumption``
+    Ablation switches for the :mod:`repro.perf` caches: disable solver
+    verdict memoization, or the refuted-state cache plus worklist
+    subsumption, respectively (see ``docs/performance.md``).
 
 Every subcommand additionally accepts the observability flags:
 
@@ -93,6 +97,27 @@ def _add_driver_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="stream per-edge progress to stderr",
     )
+    parser.add_argument(
+        "--no-memo",
+        action="store_true",
+        help="disable solver verdict memoization (ablation)",
+    )
+    parser.add_argument(
+        "--no-subsumption",
+        action="store_true",
+        help="disable the refuted-state cache and worklist subsumption (ablation)",
+    )
+
+
+def _search_config(args, **overrides):
+    """Build a SearchConfig from the shared perf flags plus overrides."""
+    from .symbolic import SearchConfig
+
+    return SearchConfig(
+        memoize_solver=not getattr(args, "no_memo", False),
+        state_subsumption=not getattr(args, "no_subsumption", False),
+        **overrides,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -156,8 +181,10 @@ def main(argv: list[str] | None = None) -> int:
             tracer.write(args.trace)
             trace.disable()
         if getattr(args, "metrics", None):
+            from . import perf
             from .obs import metrics
 
+            perf.refresh_intern_gauges()
             metrics.REGISTRY.write(args.metrics)
 
 
@@ -174,14 +201,13 @@ def _on_event(args):
 
 def _cmd_check(args) -> int:
     from .android.leaks import LeakChecker
-    from .symbolic import SearchConfig
     from .symbolic.witness import render_witness
 
     checker = LeakChecker(
         _read(args.file),
         app_name=args.file,
         annotated=args.annotated,
-        config=SearchConfig(path_budget=args.budget),
+        config=_search_config(args, path_budget=args.budget),
         jobs=args.jobs,
         deadline=args.deadline,
         on_event=_on_event(args),
@@ -235,6 +261,7 @@ def _cmd_bench(args) -> int:
                 row, report = table1_row(
                     app,
                     annotated,
+                    config=_search_config(args),
                     jobs=args.jobs,
                     deadline=args.deadline,
                     on_event=on_event,
@@ -246,7 +273,13 @@ def _cmd_bench(args) -> int:
             _write_bench_reports(args.json_report, reports)
     else:
         rows = [
-            table2_row(app, jobs=args.jobs, deadline=args.deadline, on_event=on_event)
+            table2_row(
+                app,
+                config=_search_config(args),
+                jobs=args.jobs,
+                deadline=args.deadline,
+                on_event=on_event,
+            )
             for app in apps
         ]
         print(render_table2(rows))
@@ -269,7 +302,6 @@ def _write_bench_reports(path: str, reports) -> int:
 def _cmd_witness(args) -> int:
     from .android.leaks import LeakChecker
     from .pointsto import StaticFieldNode
-    from .symbolic import SearchConfig
     from .symbolic.witness import render_witness
 
     class_name, _, field_name = args.field.partition(".")
@@ -279,7 +311,7 @@ def _cmd_witness(args) -> int:
     checker = LeakChecker(
         _read(args.file),
         args.file,
-        config=SearchConfig(path_budget=args.budget),
+        config=_search_config(args, path_budget=args.budget),
         jobs=args.jobs,
         deadline=args.deadline,
         on_event=_on_event(args),
@@ -312,7 +344,6 @@ def _cmd_casts(args) -> int:
     from .ir import build_program
     from .lang import frontend
     from .pointsto import analyze
-    from .symbolic import SearchConfig
 
     if args.no_library:
         source = _read(args.file)
@@ -322,7 +353,7 @@ def _cmd_casts(args) -> int:
     pta = analyze(program)
     driver = RefutationDriver(
         pta,
-        SearchConfig(path_budget=args.budget),
+        _search_config(args, path_budget=args.budget),
         jobs=args.jobs,
         deadline=args.deadline,
         on_event=_on_event(args),

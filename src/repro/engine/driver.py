@@ -37,7 +37,9 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
 from typing import Callable, Optional, Sequence
 
+from .. import perf
 from ..obs import metrics, trace
+from ..perf.cache import RefutedStateCache
 from ..pointsto import PointsToResult
 from ..pointsto.graph import HeapEdge
 from ..pointsto.producers import EdgeKey, edge_key
@@ -110,11 +112,20 @@ class RefutationDriver:
         self.jobs = jobs
         self.backend = self._resolve_backend(backend)
         self.events = EventBus([on_event] if on_event is not None else None)
+        #: The run-scoped refuted-state cache: serial and thread-pool
+        #: engines share one lock-striped store, so a dead end proven by
+        #: any job prunes every other job's search. Process workers keep
+        #: per-worker stores; their hit/miss tallies are merged into the
+        #: run report instead (see :meth:`build_report`).
+        self.refuted_states: Optional[RefutedStateCache] = (
+            RefutedStateCache() if config.state_subsumption else None
+        )
         #: The serial engine: runs every job when ``jobs == 1`` and serves
         #: as the shared result cache that parallel results merge into.
-        self.engine = Engine(pta, config)
+        self.engine = Engine(pta, config, refuted_cache=self.refuted_states)
         self._lock = threading.Lock()
         self._records: dict = {}  # job key -> EdgeRecord, insertion-ordered
+        self._worker_snapshots: dict[str, dict] = {}
         self._wall_seconds = 0.0
         self._pool: Optional[_FuturesExecutor] = None
         self._tls = threading.local()
@@ -249,7 +260,9 @@ class RefutationDriver:
             with self._lock:
                 worker_id = self._worker_counter
                 self._worker_counter += 1
-            engine = Engine(self.pta, self.config)
+            engine = Engine(
+                self.pta, self.config, refuted_cache=self.refuted_states
+            )
             self._tls.engine = engine
             self._tls.name = f"thread-{worker_id}"
         return engine, self._tls.name
@@ -343,7 +356,7 @@ class RefutationDriver:
             futures[fut] = (key, edge)
         for fut in as_completed(futures):
             key, edge = futures[fut]
-            result, worker = fut.result()
+            result, worker = self._unpack(fut.result())
             self._store(key, edge, result, worker)
             results[key] = result
             self._emit_finished(str(edge), result, worker, done, total)
@@ -431,7 +444,7 @@ class RefutationDriver:
                 done = 0
                 for fut in as_completed(futures):
                     i = futures[fut]
-                    result, worker = fut.result()
+                    result, worker = self._unpack(fut.result())
                     results[i] = result
                     description = requests[i][2]
                     self._record_fact(description, result, worker)
@@ -454,6 +467,19 @@ class RefutationDriver:
     # ------------------------------------------------------------------
     # Results, records, reports
     # ------------------------------------------------------------------
+
+    def _unpack(self, payload: tuple) -> tuple[EdgeResult, str]:
+        """Unpack a worker's return value. Process workers append their
+        process-cumulative cache-counter snapshot; the latest snapshot per
+        worker wins (counters are cumulative, so summing per-job values
+        would double-count) and is merged into the run report."""
+        if len(payload) == 3:
+            result, worker, snapshot = payload
+            with self._lock:
+                self._worker_snapshots[worker] = snapshot
+            return result, worker
+        result, worker = payload
+        return result, worker
 
     def _cached(self, key: EdgeKey) -> Optional[EdgeResult]:
         with self._lock:
@@ -510,7 +536,19 @@ class RefutationDriver:
             return dict(self.engine._edge_cache)
 
     def build_report(self, app: str = "", command: str = "") -> RunReport:
-        """Snapshot the run so far as a structured :class:`RunReport`."""
+        """Snapshot the run so far as a structured :class:`RunReport`.
+
+        The ``cache`` section merges this process's cache counters with the
+        latest snapshot from each process-pool worker, and adds the shared
+        refuted-state store's size/hit statistics."""
+        with self._lock:
+            snapshots = list(self._worker_snapshots.values())
+        cache = perf.cache_report(snapshots)
+        cache["refuted_store"] = (
+            self.refuted_states.stats() if self.refuted_states is not None else None
+        )
+        cache["memoize_solver"] = self.config.memoize_solver
+        cache["state_subsumption"] = self.config.state_subsumption
         with self._lock:
             return RunReport(
                 app=app,
@@ -522,6 +560,7 @@ class RefutationDriver:
                 wall_seconds=self._wall_seconds,
                 records=list(self._records.values()),
                 phase_seconds=dict(self._phase_seconds),
+                cache=cache,
             )
 
 
@@ -538,11 +577,13 @@ def _process_init(payload: bytes) -> None:
     _PROCESS_ENGINE = Engine(pta, config)
 
 
-def _process_refute_edge(edge: HeapEdge) -> tuple[EdgeResult, str]:
+def _process_refute_edge(edge: HeapEdge) -> tuple[EdgeResult, str, dict]:
     assert _PROCESS_ENGINE is not None
-    return _PROCESS_ENGINE.refute_edge(edge), f"process-{os.getpid()}"
+    result = _PROCESS_ENGINE.refute_edge(edge)
+    return result, f"process-{os.getpid()}", perf.cache_stats_snapshot()
 
 
-def _process_refute_fact(label, bindings) -> tuple[EdgeResult, str]:
+def _process_refute_fact(label, bindings) -> tuple[EdgeResult, str, dict]:
     assert _PROCESS_ENGINE is not None
-    return _PROCESS_ENGINE.refute_fact_at(label, bindings), f"process-{os.getpid()}"
+    result = _PROCESS_ENGINE.refute_fact_at(label, bindings)
+    return result, f"process-{os.getpid()}", perf.cache_stats_snapshot()

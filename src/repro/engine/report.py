@@ -72,6 +72,11 @@ class RunReport:
     #: Summed seconds per pipeline phase (span name -> total), populated
     #: from the span stream when tracing is enabled; empty otherwise.
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: Cache behavior for the run: per-cache hit/miss counts and rates
+    #: (solver memo, entailment memo, refuted-state cache, term interning)
+    #: merged across process-pool workers, plus the active toggle values.
+    #: See :func:`repro.perf.cache_report`.
+    cache: dict = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
     # -- aggregates -----------------------------------------------------------
@@ -133,6 +138,7 @@ class RunReport:
             wall_seconds=data.get("wall_seconds", 0.0),
             records=records,
             phase_seconds=data.get("phase_seconds", {}),
+            cache=data.get("cache", {}),
             schema_version=data.get("schema_version", SCHEMA_VERSION),
         )
 

@@ -1,0 +1,135 @@
+"""Cross-cutting memoization & subsumption layer.
+
+Thresher's value proposition is pruning infeasible paths early; this
+package makes the pruning itself cheap by never paying for the same work
+twice:
+
+* :mod:`repro.perf.memo` — an LRU-bounded memo table in front of the
+  decision procedure: ``check_sat``/``entails`` verdicts keyed on the
+  canonical frozen constraint set (terms are hash-consed by
+  :mod:`repro.solver.terms`, so key construction is cheap);
+* :mod:`repro.perf.cache` — a lock-striped **refuted-state cache** shared
+  across refutation jobs: once a whole search completes REFUTED, every
+  query it recorded at loop heads and procedure boundaries is a proven
+  dead end, and any later state that entails one of them can be dropped
+  before expansion — across branches, loop iterations, edges, and
+  concurrent driver jobs.
+
+Every layer reports hit/miss counters into :mod:`repro.obs.metrics`
+(``--metrics``) and the aggregate :func:`cache_report` is rolled into the
+driver's JSON run report. Both layers are toggleable (``--no-memo``,
+``--no-subsumption`` / ``SearchConfig.memoize_solver`` /
+``SearchConfig.state_subsumption``) so ablation benchmarks can quantify
+each one.
+"""
+
+from __future__ import annotations
+
+from ..obs import metrics
+from .cache import RefutedStateCache
+from .memo import SOLVER_MEMO, LRUCache, SolverMemo
+
+#: Counters that describe cache behavior; snapshotted per process so the
+#: driver can merge process-pool workers' tallies into one report.
+CACHE_METRIC_NAMES = (
+    "solver.checks",
+    "solver.unsat",
+    "solver.entails",
+    "solver.memo_hits",
+    "solver.memo_misses",
+    "solver.entails_memo_hits",
+    "solver.entails_memo_misses",
+    "executor.refuted_cache_hits",
+    "executor.refuted_cache_misses",
+    "executor.worklist_subsumed",
+    "executor.states_explored",
+    "pointsto.noop_pops_skipped",
+    "pointsto.delta_propagated",
+)
+
+
+def refresh_intern_gauges() -> None:
+    """Publish the solver-term intern-table tallies as gauges (the intern
+    hot path keeps plain ints; this is the flush point)."""
+    from ..solver import terms
+
+    stats = terms.intern_stats()
+    metrics.gauge("solver.intern_hits").set(stats["hits"])
+    metrics.gauge("solver.intern_misses").set(stats["misses"])
+    metrics.gauge("solver.intern_size").set(stats["size"])
+
+
+def cache_stats_snapshot() -> dict:
+    """This process's cumulative cache counters, as a plain dict (cheap to
+    pickle back from process-pool workers)."""
+    refresh_intern_gauges()
+    out: dict = {}
+    for name in CACHE_METRIC_NAMES:
+        instrument = metrics.REGISTRY.get(name)
+        out[name] = instrument.value if instrument is not None else 0
+    for name in ("solver.intern_hits", "solver.intern_misses", "solver.intern_size"):
+        instrument = metrics.REGISTRY.get(name)
+        out[name] = instrument.value if instrument is not None else 0
+    return out
+
+
+def _rate(hits: float, misses: float) -> float:
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def cache_report(extra_snapshots: list | None = None) -> dict:
+    """The run report's ``cache`` section: this process's counters merged
+    with any process-pool workers' snapshots, with per-cache hit rates."""
+    merged = cache_stats_snapshot()
+    for snap in extra_snapshots or []:
+        for name, value in snap.items():
+            merged[name] = merged.get(name, 0) + value
+    return {
+        "counters": merged,
+        "solver_memo": {
+            "hits": merged.get("solver.memo_hits", 0),
+            "misses": merged.get("solver.memo_misses", 0),
+            "hit_rate": _rate(
+                merged.get("solver.memo_hits", 0),
+                merged.get("solver.memo_misses", 0),
+            ),
+        },
+        "entails_memo": {
+            "hits": merged.get("solver.entails_memo_hits", 0),
+            "misses": merged.get("solver.entails_memo_misses", 0),
+            "hit_rate": _rate(
+                merged.get("solver.entails_memo_hits", 0),
+                merged.get("solver.entails_memo_misses", 0),
+            ),
+        },
+        "refuted_states": {
+            "hits": merged.get("executor.refuted_cache_hits", 0),
+            "misses": merged.get("executor.refuted_cache_misses", 0),
+            "hit_rate": _rate(
+                merged.get("executor.refuted_cache_hits", 0),
+                merged.get("executor.refuted_cache_misses", 0),
+            ),
+        },
+        "term_intern": {
+            "hits": merged.get("solver.intern_hits", 0),
+            "misses": merged.get("solver.intern_misses", 0),
+            "hit_rate": _rate(
+                merged.get("solver.intern_hits", 0),
+                merged.get("solver.intern_misses", 0),
+            ),
+        },
+        "worklist_subsumed": merged.get("executor.worklist_subsumed", 0),
+    }
+
+
+__all__ = [
+    "SOLVER_MEMO",
+    "SolverMemo",
+    "LRUCache",
+    "RefutedStateCache",
+    "CACHE_METRIC_NAMES",
+    "cache_stats_snapshot",
+    "cache_report",
+    "refresh_intern_gauges",
+]

@@ -82,12 +82,25 @@ class AndersenSolver:
         self._succ: dict[Node, set[Node]] = {}
         self._deferred: dict[Node, list[_DeferredOp]] = {}
         self._worklist: deque[Node] = deque()
+        # Delta propagation (difference propagation in the worklist
+        # literature): each queued node carries only its *unpropagated*
+        # points-to delta. Membership in ``_pending`` doubles as the
+        # worklist dedupe — a node already queued just grows its delta
+        # instead of being re-enqueued, and successors/deferred ops only
+        # ever see each abstract location once.
+        self._pending: dict[Node, set[AbsLoc]] = {}
+        # Constraints registered after their base already has a points-to
+        # set: applied over the full current set from this queue, then fed
+        # deltas like every other op.
+        self._fresh_ops: deque[tuple[Node, _DeferredOp]] = deque()
         self._analyzed: set[tuple[str, Context]] = set()
         # Local effort tallies, flushed to the metrics registry once per
         # solve() — the worklist loop is far too hot for per-pop locking.
         self._pops = 0
         self._pts_updates = 0
         self._deferred_applied = 0
+        self._noop_skips = 0
+        self._delta_propagated = 0
 
     # -- constraint-graph primitives -------------------------------------------
 
@@ -100,18 +113,29 @@ class AndersenSolver:
         if new:
             current.update(new)
             self._pts_updates += len(new)
-            self._worklist.append(node)
+            pending = self._pending.get(node)
+            if pending is None:
+                self._pending[node] = new
+                self._worklist.append(node)
+            else:
+                # Already queued: merge into its delta instead of queueing a
+                # second pop (the re-propagation the old full-set worklist
+                # would have performed).
+                pending.update(new)
+                self._noop_skips += 1
 
     def _add_copy(self, src: Node, dst: Node) -> None:
         succ = self._succ.setdefault(src, set())
         if dst not in succ:
             succ.add(dst)
+            # A new edge must carry the full current set once; growth after
+            # that arrives as deltas.
             self._add_pts(dst, self._pts(src))
 
     def _defer(self, base: Node, op: _DeferredOp) -> None:
         self._deferred.setdefault(base, []).append(op)
         if self._pts(base):
-            self._worklist.append(base)
+            self._fresh_ops.append((base, op))
 
     # -- main loop ------------------------------------------------------------------
 
@@ -123,28 +147,43 @@ class AndersenSolver:
         with trace.span("pointsto.solve", roots=len(roots)) as sp:
             for root in roots:
                 self._ensure_analyzed(root, ())
-            while self._worklist:
+            while self._worklist or self._fresh_ops:
+                while self._fresh_ops:
+                    base, op = self._fresh_ops.popleft()
+                    self._apply_delta(op, self._pts(base))
+                if not self._worklist:
+                    continue
                 node = self._worklist.popleft()
                 self._pops += 1
-                pts = self._pts(node)
+                delta = self._pending.pop(node, None)
+                if not delta:
+                    self._noop_skips += 1
+                    continue
                 for op in self._deferred.get(node, []):
-                    new = pts - op.done
-                    if not new:
-                        continue
-                    op.done.update(new)
-                    self._deferred_applied += len(new)
-                    for loc in new:
-                        self._apply_op(op, loc)
+                    self._apply_delta(op, delta)
+                self._delta_propagated += len(delta)
                 for succ in self._succ.get(node, set()):
-                    self._add_pts(succ, pts)
+                    self._add_pts(succ, delta)
             self.graph.seal()
             sp.set(pops=self._pops, methods=len(self._analyzed))
         metrics.counter("pointsto.worklist_pops").inc(self._pops)
         metrics.counter("pointsto.pts_updates").inc(self._pts_updates)
         metrics.counter("pointsto.deferred_applied").inc(self._deferred_applied)
+        metrics.counter("pointsto.noop_pops_skipped").inc(self._noop_skips)
+        metrics.counter("pointsto.delta_propagated").inc(self._delta_propagated)
         metrics.counter("pointsto.methods_analyzed").inc(len(self._analyzed))
         metrics.counter("pointsto.solves").inc()
         self._pops = self._pts_updates = self._deferred_applied = 0
+        self._noop_skips = self._delta_propagated = 0
+
+    def _apply_delta(self, op: _DeferredOp, locs: set[AbsLoc]) -> None:
+        new = locs - op.done
+        if not new:
+            return
+        op.done.update(new)
+        self._deferred_applied += len(new)
+        for loc in new:
+            self._apply_op(op, loc)
 
     def _apply_op(self, op: _DeferredOp, loc: AbsLoc) -> None:
         if op.kind == "load":

@@ -20,7 +20,7 @@ ELEMS = "@elems"
 Context = tuple  # a tuple of AllocSite, possibly empty
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AbsLoc:
     """An abstract heap location: an allocation site plus a heap context."""
 
@@ -42,7 +42,7 @@ class AbsLoc:
         return self.site.is_array
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VarNode:
     """A local variable of a method analyzed in a calling context."""
 
@@ -55,7 +55,7 @@ class VarNode:
         return f"{self.method}:{self.var}{suffix}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StaticFieldNode:
     class_name: str
     field: str
@@ -64,7 +64,7 @@ class StaticFieldNode:
         return f"{self.class_name}.{self.field}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FieldNode:
     """The field ``field`` of objects abstracted by ``loc``."""
 
@@ -78,7 +78,7 @@ class FieldNode:
 Node = Union[VarNode, StaticFieldNode, FieldNode]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HeapEdge:
     """A may points-to edge between heap locations: ``src.field ↪ dst``.
 

@@ -32,27 +32,45 @@ FM_ATOM_BUDGET = 400
 # Process-wide mirrors of the per-context SolverStats counters; the
 # canonical cross-run aggregate (dumped by --metrics) lives in the
 # repro.obs registry, while SolverStats instances stay around as the
-# per-search compatibility view.
+# per-search compatibility view. ``solver.checks``/``solver.unsat`` count
+# *actual decision-procedure runs* — a memo hit increments only the
+# memo-hit counters, which is what makes the cached-vs-uncached solver
+# call reduction measurable.
 _CHECKS = metrics.counter("solver.checks")
 _UNSAT = metrics.counter("solver.unsat")
 _GIVEUPS = metrics.counter("solver.fm_giveups")
 _ENTAILS = metrics.counter("solver.entails")
 _CHECK_ATOMS = metrics.histogram("solver.check_atoms")
+_MEMO_HITS = metrics.counter("solver.memo_hits")
+_MEMO_MISSES = metrics.counter("solver.memo_misses")
+_ENTAILS_MEMO_HITS = metrics.counter("solver.entails_memo_hits")
+_ENTAILS_MEMO_MISSES = metrics.counter("solver.entails_memo_misses")
 
 
 class SolverStats:
     """Per-search counters (compatibility view over the repro.obs registry:
-    the process-wide totals live in ``solver.*`` metrics)."""
+    the process-wide totals live in ``solver.*`` metrics).
+
+    ``checks``/``unsat``/``entails`` count *queries asked and their
+    verdicts* — they are memoization-invariant, so per-search accounting
+    (and tests pinning exact counts) reads the same with caches on or off.
+    ``memo_hits``/``memo_misses`` say how many of those queries were
+    answered from the memo table vs. actually decided.
+    """
 
     def __init__(self) -> None:
         self.checks = 0
         self.unsat = 0
         self.fm_giveups = 0
+        self.entails = 0
+        self.memo_hits = 0
+        self.memo_misses = 0
 
     def __repr__(self) -> str:
         return (
             f"SolverStats(checks={self.checks}, unsat={self.unsat},"
-            f" giveups={self.fm_giveups})"
+            f" giveups={self.fm_giveups}, entails={self.entails},"
+            f" memo_hits={self.memo_hits}, memo_misses={self.memo_misses})"
         )
 
 
@@ -69,38 +87,80 @@ def check_sat(
     ``nonnull`` lists instance variables known to denote real objects
     (e.g. instances that appear as the source of an exact points-to
     constraint); equating one of those with NULL is a contradiction.
+
+    Verdicts are memoized on the canonical frozen atom set (terms are
+    hash-consed, so the key is cheap); the memo is a pure-function cache
+    with no invalidation, toggled via :data:`repro.perf.SOLVER_MEMO`.
     """
+    from ..perf.memo import SOLVER_MEMO
+
     stats = stats or GLOBAL_STATS
     stats.checks += 1
-    _CHECKS.inc()
     atoms = list(atoms)
-    _CHECK_ATOMS.observe(len(atoms))
     nonnull = nonnull or frozenset()
 
+    memo_key = None
+    if SOLVER_MEMO.enabled:
+        memo_key = (frozenset(atoms), frozenset(nonnull))
+        cached = SOLVER_MEMO.check.get(memo_key)
+        if cached is not None:
+            stats.memo_hits += 1
+            _MEMO_HITS.inc()
+            if not cached:
+                stats.unsat += 1
+            return cached
+        stats.memo_misses += 1
+        _MEMO_MISSES.inc()
+
+    _CHECKS.inc()
+    _CHECK_ATOMS.observe(len(atoms))
     with trace.span("solver.check_sat"):
         ref_atoms = [a for a in atoms if isinstance(a, RefAtom)]
         lin_atoms = [a for a in atoms if isinstance(a, LinAtom)]
 
+        result = True
         if not _check_refs(ref_atoms, nonnull):
+            result = False
+        elif not _check_linear(lin_atoms, stats):
+            result = False
+        if not result:
             stats.unsat += 1
             _UNSAT.inc()
-            return False
-
-        if not _check_linear(lin_atoms, stats):
-            stats.unsat += 1
-            _UNSAT.inc()
-            return False
-        return True
+    if memo_key is not None:
+        SOLVER_MEMO.check.put(memo_key, result)
+    return result
 
 
-def entails(stronger: Iterable[Atom], weaker: Iterable[Atom]) -> bool:
+def entails(
+    stronger: Iterable[Atom],
+    weaker: Iterable[Atom],
+    stats: Optional[SolverStats] = None,
+) -> bool:
     """Conservative syntactic entailment: every atom of ``weaker`` appears
     in ``stronger`` (after normalization). Used by query subsumption, where
-    a miss only costs re-exploration, never soundness."""
+    a miss only costs re-exploration, never soundness. Memoized like
+    :func:`check_sat` on the pair of normalized frozen atom sets."""
+    from ..perf.memo import SOLVER_MEMO
+
+    stats = stats or GLOBAL_STATS
+    stats.entails += 1
     _ENTAILS.inc()
     with trace.span("solver.entails"):
-        have = {_normalize(a) for a in stronger}
-        return all(_normalize(a) in have for a in weaker)
+        have = frozenset(_normalize(a) for a in stronger)
+        want = frozenset(_normalize(a) for a in weaker)
+        if SOLVER_MEMO.enabled:
+            memo_key = (have, want)
+            cached = SOLVER_MEMO.entailment.get(memo_key)
+            if cached is not None:
+                stats.memo_hits += 1
+                _ENTAILS_MEMO_HITS.inc()
+                return cached
+            stats.memo_misses += 1
+            _ENTAILS_MEMO_MISSES.inc()
+            result = want <= have
+            SOLVER_MEMO.entailment.put(memo_key, result)
+            return result
+        return want <= have
 
 
 def _normalize(atom: Atom) -> Atom:

@@ -10,15 +10,53 @@ The witness-refutation analysis emits only conjunctions of:
 The paper discharges these with Z3; we decide the same fragment with a
 from-scratch procedure (:mod:`repro.solver.core`). Variables are arbitrary
 hashable objects so the solver does not depend on the symbolic layer.
+
+Terms are **hash-consed**: every :class:`LinExpr`, :class:`LinAtom`, and
+:class:`RefAtom` is canonicalized through a process-wide intern table at
+construction, so structurally equal terms are usually the *same* object.
+Hashes are precomputed once, equality takes the identity fast path, and
+atom sets (the solver-memoization keys, query histories, entailment
+checks) dedupe in O(1) per element. The table is capped — when full it is
+cleared, which only costs future re-interning, never correctness: equality
+remains structural between non-shared instances (e.g. after crossing a
+process-pool boundary).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from math import gcd
 from typing import Hashable, Iterable, Mapping, Union
 
 Var = Hashable
+
+#: Intern-table size cap; reaching it clears the table (cheap, deterministic).
+INTERN_CAP = 1 << 16
+
+_TABLE: dict = {}
+# Plain-int tallies (no lock: the GIL makes occasional lost increments the
+# only race, acceptable for statistics); surfaced as gauges by repro.perf.
+_HITS = 0
+_MISSES = 0
+
+
+def intern_stats() -> dict:
+    """Current intern-table statistics (hits/misses/live entries)."""
+    return {"hits": _HITS, "misses": _MISSES, "size": len(_TABLE)}
+
+
+def _canon(key: tuple, build) -> object:
+    """Return the canonical object for ``key``, building it on first use."""
+    global _HITS, _MISSES
+    obj = _TABLE.get(key)
+    if obj is not None:
+        _HITS += 1
+        return obj
+    _MISSES += 1
+    obj = build()
+    if len(_TABLE) >= INTERN_CAP:
+        _TABLE.clear()
+    _TABLE[key] = obj
+    return obj
 
 
 class _NullConst:
@@ -38,13 +76,56 @@ class _NullConst:
 NULL = _NullConst()
 
 
-@dataclass(frozen=True)
 class LinExpr:
     """Σ cᵢ·xᵢ + k with integer coefficients, in canonical form (no zero
-    coefficients; terms sorted by repr for deterministic hashing)."""
+    coefficients; terms sorted by repr for deterministic hashing).
 
-    coeffs: tuple[tuple[Var, int], ...]
-    const: int = 0
+    Immutable, hash-consed, ``__slots__``-backed: construct via
+    :meth:`of` / :meth:`var` / :meth:`constant` or positionally with an
+    already-canonical coefficient tuple."""
+
+    __slots__ = ("coeffs", "const", "_hash")
+
+    def __new__(cls, coeffs: tuple = (), const: int = 0) -> "LinExpr":
+        coeffs = tuple(coeffs)
+        key = ("le", coeffs, const)
+
+        def build() -> "LinExpr":
+            self = object.__new__(cls)
+            object.__setattr__(self, "coeffs", coeffs)
+            object.__setattr__(self, "const", const)
+            object.__setattr__(self, "_hash", hash(key))
+            return self
+
+        return _canon(key, build)  # type: ignore[return-value]
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError("LinExpr is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, LinExpr):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.const == other.const
+            and self.coeffs == other.coeffs
+        )
+
+    def __ne__(self, other: object) -> bool:
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    def __reduce__(self):
+        # Re-intern on unpickle (process-pool crossings).
+        return (LinExpr, (self.coeffs, self.const))
+
+    def __repr__(self) -> str:
+        return f"LinExpr(coeffs={self.coeffs!r}, const={self.const!r})"
 
     @staticmethod
     def of(terms: Mapping[Var, int], const: int = 0) -> "LinExpr":
@@ -107,20 +188,55 @@ class LinExpr:
         return " + ".join(parts).replace("+ -", "- ")
 
 
-@dataclass(frozen=True)
 class LinAtom:
     """``expr op 0`` with op ∈ {"<=", "==", "!="} over the integers.
 
     Strict inequalities are normalized away at construction (``a < b`` over
-    the integers is ``a - b + 1 ≤ 0``).
-    """
+    the integers is ``a - b + 1 ≤ 0``). Immutable and hash-consed like
+    :class:`LinExpr`."""
 
-    op: str
-    expr: LinExpr
+    __slots__ = ("op", "expr", "_hash")
 
-    def __post_init__(self) -> None:
-        if self.op not in ("<=", "==", "!="):
-            raise ValueError(f"bad linear op {self.op!r}")
+    def __new__(cls, op: str, expr: LinExpr) -> "LinAtom":
+        if op not in ("<=", "==", "!="):
+            raise ValueError(f"bad linear op {op!r}")
+        key = ("la", op, expr)
+
+        def build() -> "LinAtom":
+            self = object.__new__(cls)
+            object.__setattr__(self, "op", op)
+            object.__setattr__(self, "expr", expr)
+            object.__setattr__(self, "_hash", hash(key))
+            return self
+
+        return _canon(key, build)  # type: ignore[return-value]
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError("LinAtom is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, LinAtom):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.op == other.op
+            and self.expr == other.expr
+        )
+
+    def __ne__(self, other: object) -> bool:
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    def __reduce__(self):
+        return (LinAtom, (self.op, self.expr))
+
+    def __repr__(self) -> str:
+        return f"LinAtom(op={self.op!r}, expr={self.expr!r})"
 
     def rename(self, mapping: Mapping[Var, Var]) -> "LinAtom":
         return LinAtom(self.op, self.expr.rename(mapping))
@@ -132,13 +248,58 @@ class LinAtom:
         return f"{self.expr} {self.op} 0"
 
 
-@dataclass(frozen=True)
 class RefAtom:
-    """Reference (dis)equality between two instances (or NULL)."""
+    """Reference (dis)equality between two instances (or NULL).
 
-    equal: bool
-    left: Union[Var, _NullConst]
-    right: Union[Var, _NullConst]
+    Immutable and hash-consed like :class:`LinExpr`."""
+
+    __slots__ = ("equal", "left", "right", "_hash")
+
+    def __new__(
+        cls, equal: bool, left: Union[Var, _NullConst], right: Union[Var, _NullConst]
+    ) -> "RefAtom":
+        key = ("ra", equal, left, right)
+
+        def build() -> "RefAtom":
+            self = object.__new__(cls)
+            object.__setattr__(self, "equal", equal)
+            object.__setattr__(self, "left", left)
+            object.__setattr__(self, "right", right)
+            object.__setattr__(self, "_hash", hash(key))
+            return self
+
+        return _canon(key, build)  # type: ignore[return-value]
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError("RefAtom is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, RefAtom):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.equal == other.equal
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __ne__(self, other: object) -> bool:
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    def __reduce__(self):
+        return (RefAtom, (self.equal, self.left, self.right))
+
+    def __repr__(self) -> str:
+        return (
+            f"RefAtom(equal={self.equal!r}, left={self.left!r},"
+            f" right={self.right!r})"
+        )
 
     def rename(self, mapping: Mapping[Var, Var]) -> "RefAtom":
         left = mapping.get(self.left, self.left)

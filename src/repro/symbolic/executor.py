@@ -34,11 +34,13 @@ from ..ir.stmts import AtomicStmt, Choice, Loop, Seq, Stmt
 from ..obs import metrics, trace
 from ..pointsto import ELEMS, PointsToResult
 from ..pointsto.graph import HeapEdge
+from ..perf.cache import RefutedStateCache
+from ..perf.memo import SOLVER_MEMO
 from ..pointsto.modref import ModSet
 from . import loops
 from .config import Representation, SearchConfig
 from .query import Query
-from .simplification import QueryHistory
+from .simplification import QueryHistory, query_entails
 from .stats import REFUTED, TIMEOUT, WITNESSED, EdgeResult, SearchStats
 from .symvar import SymVar
 from .transfer import TransferContext, transfer_command
@@ -51,6 +53,8 @@ Cons = tuple  # (Task, Cons) | ()
 _PATH_PROGRAMS = metrics.histogram("executor.path_programs")
 _SEARCH_SECONDS = metrics.histogram("executor.search_seconds")
 _SOLVER_CALLS = metrics.histogram("executor.solver_calls_per_search")
+_WORKLIST_SUBSUMED = metrics.counter("executor.worklist_subsumed")
+_STATES_EXPLORED = metrics.counter("executor.states_explored")
 
 
 def _observe_search(result: "EdgeResult", solver_calls: int) -> None:
@@ -60,7 +64,7 @@ def _observe_search(result: "EdgeResult", solver_calls: int) -> None:
     metrics.counter(f"executor.{result.status}").inc()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StmtTask:
     stmt: Stmt
     #: Query version at the enclosing choice's fork; an assume whose query
@@ -68,7 +72,7 @@ class StmtTask:
     relevance: Optional[int] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EnterMethodTask:
     qname: str
 
@@ -76,7 +80,7 @@ class EnterMethodTask:
 Task = Union[StmtTask, EnterMethodTask]
 
 
-@dataclass
+@dataclass(slots=True)
 class PathState:
     k: Cons
     query: Query
@@ -100,10 +104,14 @@ class Engine:
         pta: PointsToResult,
         config: Optional[SearchConfig] = None,
         root: Optional[str] = None,
+        refuted_cache: Optional[RefutedStateCache] = None,
     ) -> None:
         self.pta = pta
         self.program: IRProgram = pta.program
         self.config = config or SearchConfig()
+        # The solver memo is process-wide; the engine's config governs it
+        # for the whole run (the driver replays the same config in workers).
+        SOLVER_MEMO.set_enabled(self.config.memoize_solver)
         self.ctx = TransferContext(pta, self.config)
         self.root = root or self.program.entry
         if self.root is None:
@@ -113,7 +121,17 @@ class Engine:
         self._budget_left = 0
         self._deadline_at: Optional[float] = None
         self._deadline_step = 0
-        self._history = QueryHistory(enabled=self.config.simplify_queries)
+        # Cross-search refuted-state cache: pass one in to share across
+        # engines (driver thread pool); a private store otherwise. Must
+        # never be shared across different pta/root pairs.
+        self._refuted_cache: Optional[RefutedStateCache] = None
+        if self.config.state_subsumption:
+            self._refuted_cache = (
+                refuted_cache if refuted_cache is not None else RefutedStateCache()
+            )
+        self._history = QueryHistory(
+            enabled=self.config.simplify_queries, shared=self._refuted_cache
+        )
         self._edge_cache: dict = {}
         self._branch_mods: dict[int, ModSet] = {}
         self._branch_throw: dict[int, bool] = {}
@@ -134,7 +152,9 @@ class Engine:
         checks_before = self.ctx.solver_stats.checks
         self._budget_left = self.config.path_budget
         self._arm_deadline(start)
-        self._history = QueryHistory(enabled=self.config.simplify_queries)
+        self._history = QueryHistory(
+            enabled=self.config.simplify_queries, shared=self._refuted_cache
+        )
         producers = self.pta.producers_of(edge)
         status = REFUTED
         witness_trace: Optional[list[int]] = None
@@ -155,9 +175,14 @@ class Engine:
                     if result_state is not None:
                         status = WITNESSED
                         witness_trace = _materialize(result_state.trace)
+                        self._history.discard_pending()
                         break
+                    # This producer's search completed REFUTED: every state
+                    # it recorded is a proven dead end — share them.
+                    self._flush_refuted()
             except SearchTimeout:
                 status = TIMEOUT
+                self._history.discard_pending()
             explored = self.config.path_budget - self._budget_left
             sp.set(status=status, path_programs=explored)
         result = EdgeResult(
@@ -198,7 +223,9 @@ class Engine:
         baseline = budget if budget is not None else self.config.path_budget
         self._budget_left = baseline
         self._arm_deadline(start)
-        self._history = QueryHistory(enabled=self.config.simplify_queries)
+        self._history = QueryHistory(
+            enabled=self.config.simplify_queries, shared=self._refuted_cache
+        )
         method = self.program.method_of_label(label)
         q = Query(method.qualified_name)
         for var, region in bindings:
@@ -217,8 +244,12 @@ class Engine:
                     if found is not None:
                         status = WITNESSED
                         witness_trace = _materialize(found.trace)
+                        self._history.discard_pending()
+                    else:
+                        self._flush_refuted()
                 except SearchTimeout:
                     status = TIMEOUT
+                    self._history.discard_pending()
             sp.set(status=status, path_programs=baseline - self._budget_left)
         result = EdgeResult(
             edge=None,  # type: ignore[arg-type]
@@ -264,14 +295,55 @@ class Engine:
         """DFS over path states; returns a witnessing state or None when
         all paths are refuted."""
         stack = list(initial)
+        explored = 0
         try:
             while stack:
                 self._check_deadline(every=16)
                 state = stack.pop()
-                stack.extend(self._step(state))
+                explored += 1
+                stack.extend(self._prune_batch(self._step(state)))
         except _Witnessed as w:
             return w.state
+        finally:
+            _STATES_EXPLORED.inc(explored)
         return None
+
+    def _flush_refuted(self) -> None:
+        """Publish the just-refuted search's recorded states to the shared
+        refuted-state cache."""
+        pending = self._history.take_pending()
+        if pending and self._refuted_cache is not None:
+            self._refuted_cache.add_many(pending)
+
+    def _prune_batch(self, states: list["PathState"]) -> list["PathState"]:
+        """Entailment-based worklist subsumption over one state's successor
+        batch (paper Section 3.3: ``Q1 ∨ Q2 = Q2`` when ``Q1 ⊨ Q2``).
+
+        Only successors with the *identical* continuation are compared, and
+        a state is dropped only when dominated by a batch-mate that DFS
+        pops *earlier* (later in the list) — if the weaker mate is refuted
+        the stronger state is too, and if the mate is witnessed the search
+        ends there first either way, so the surviving verdict *and* witness
+        are bit-identical to the unpruned run."""
+        if len(states) < 2 or not self.config.state_subsumption:
+            return states
+        kept_rev: list[PathState] = []
+        dropped = 0
+        for s in reversed(states):
+            dominated = False
+            for t in kept_rev:
+                if s.k is t.k and query_entails(s.query, t.query):
+                    dominated = True
+                    break
+            if dominated:
+                dropped += 1
+                continue
+            kept_rev.append(s)
+        if not dropped:
+            return states
+        _WORKLIST_SUBSUMED.inc(dropped)
+        kept_rev.reverse()
+        return kept_rev
 
     def run_subwalk(self, stmt: Stmt, query: Query) -> list[Query]:
         """Execute ``stmt`` backwards from ``query``; returns the queries
@@ -321,7 +393,9 @@ class Engine:
             return out
         if isinstance(stmt, Loop):
             key = ("loop", stmt.label)
-            if self._history.should_drop(key, state.query):
+            # Subwalk states have a truncated continuation (the loop body
+            # only), so they must not consult or feed the cross-search cache.
+            if self._history.should_drop(key, state.query, flushable=not in_subwalk):
                 return []
             queries = loops.saturate(self, stmt, state.query)
             return [

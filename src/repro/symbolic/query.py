@@ -39,7 +39,7 @@ from .symvar import DATA, REF, SymVar, fresh_data, fresh_ref
 Region = Optional[frozenset]  # frozenset[AbsLoc]; None = unconstrained
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Frame:
     """A pending caller on the abstract backwards call stack."""
 
@@ -48,7 +48,7 @@ class Frame:
     invoke_label: int  # the call-site label inside the caller
 
 
-@dataclass
+@dataclass(slots=True)
 class ArrayCell:
     base: SymVar
     index: SymVar

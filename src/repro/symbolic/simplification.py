@@ -136,17 +136,37 @@ def _frame_map(weak: Query, strong: Query) -> dict[int, int]:
 
 
 class QueryHistory:
-    """Per-program-point histories with subsumption-based dropping."""
+    """Per-program-point histories with subsumption-based dropping.
 
-    def __init__(self, enabled: bool = True, max_per_point: int = 64) -> None:
+    Optionally backed by a cross-search
+    :class:`~repro.perf.cache.RefutedStateCache` (``shared``): states the
+    cache already proved refuted are dropped immediately, and states this
+    search records are staged in ``pending`` so the engine can flush them
+    into the shared cache once the search completes REFUTED (and discard
+    them on WITNESSED/TIMEOUT, where nothing is proven). Subwalk states
+    — whose continuation is truncated to the loop body — are never staged
+    and never consult the shared cache (``flushable=False``).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        max_per_point: int = 64,
+        shared: Optional["object"] = None,
+    ) -> None:
         self.enabled = enabled
         self.max_per_point = max_per_point
+        self.shared = shared
         self._seen: dict[tuple, list[Query]] = {}
         self.drops = 0
+        self.pending: list[tuple[tuple, Query]] = []
 
-    def should_drop(self, point_key: tuple, query: Query) -> bool:
-        """True if an already-explored weaker query subsumes this one.
-        Otherwise records the query for future checks."""
+    def should_drop(
+        self, point_key: tuple, query: Query, flushable: bool = True
+    ) -> bool:
+        """True if an already-explored weaker query (this search) or an
+        already-refuted query (shared cache) subsumes this one. Otherwise
+        records the query for future checks."""
         if not self.enabled:
             return False
         key = (point_key, query.stack_signature())
@@ -155,9 +175,26 @@ class QueryHistory:
             if query_entails(query, old):
                 self.drops += 1
                 return True
+        if self.shared is not None and flushable and self.shared.subsumes(key, query):
+            self.drops += 1
+            return True
         if len(history) < self.max_per_point:
-            history.append(query.copy())
+            snapshot = query.copy()
+            history.append(snapshot)
+            if self.shared is not None and flushable:
+                self.pending.append((key, snapshot))
         return False
+
+    def take_pending(self) -> list[tuple[tuple, Query]]:
+        """Hand over (and reset) the states staged for the shared cache.
+        Call only when the search they came from completed REFUTED."""
+        out = self.pending
+        self.pending = []
+        return out
+
+    def discard_pending(self) -> None:
+        self.pending = []
 
     def clear(self) -> None:
         self._seen.clear()
+        self.pending = []

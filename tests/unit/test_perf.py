@@ -1,0 +1,225 @@
+"""Unit tests for the repro.perf memoization & subsumption layer."""
+
+import pickle
+
+import pytest
+
+from repro import perf
+from repro.ir.instructions import AllocSite
+from repro.obs import metrics
+from repro.perf.cache import RefutedStateCache
+from repro.perf.memo import SOLVER_MEMO, LRUCache, SolverMemo
+from repro.pointsto.graph import AbsLoc
+from repro.solver import LinExpr, SolverStats, check_sat, eq, le
+from repro.symbolic import Query
+
+
+def loc(name):
+    return AbsLoc(AllocSite(hash(name) % 99_991, "Object", "M.m", hint=name))
+
+
+A, B = loc("a0"), loc("b0")
+
+
+def query_with_region(region):
+    q = Query("M.m")
+    v = q.new_ref(region)
+    q.set_local("x", v)
+    return q
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    SOLVER_MEMO.clear()
+    enabled = SOLVER_MEMO.enabled
+    SOLVER_MEMO.set_enabled(True)
+    yield
+    SOLVER_MEMO.clear()
+    SOLVER_MEMO.set_enabled(enabled)
+
+
+class TestLRUCache:
+    def test_put_get_roundtrip(self):
+        cache = LRUCache(4)
+        cache.put("k", 1)
+        assert cache.get("k") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", "d") == "d"
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b becomes LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_put_refreshes_existing_key(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh + overwrite; b becomes LRU
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+
+    def test_len_and_clear(self):
+        cache = LRUCache(8)
+        for i in range(5):
+            cache.put(i, i)
+        assert len(cache) == 5
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_capacity_bound_holds(self):
+        cache = LRUCache(3)
+        for i in range(100):
+            cache.put(i, i)
+        assert len(cache) == 3
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestSolverMemo:
+    def test_check_sat_memoizes_verdict(self):
+        d = LinExpr.var("d")
+        atoms = [le(d, LinExpr.constant(3)), le(LinExpr.constant(1), d)]
+        stats = SolverStats()
+        assert check_sat(atoms, stats=stats)
+        assert check_sat(list(reversed(atoms)), stats=stats)  # order-insensitive key
+        assert stats.checks == 2
+        assert stats.memo_misses == 1
+        assert stats.memo_hits == 1
+
+    def test_unsat_verdict_memoized_and_counted(self):
+        d = LinExpr.var("d")
+        atoms = [le(d, LinExpr.constant(0)), le(LinExpr.constant(1), d)]
+        stats = SolverStats()
+        assert not check_sat(atoms, stats=stats)
+        assert not check_sat(atoms, stats=stats)
+        # The unsat tally counts *verdicts*, so it is memoization-invariant.
+        assert stats.unsat == 2
+        assert stats.memo_hits == 1
+
+    def test_disabled_memo_always_misses_table(self):
+        SOLVER_MEMO.set_enabled(False)
+        d = LinExpr.var("d")
+        atoms = [eq(d, LinExpr.constant(1))]
+        stats = SolverStats()
+        check_sat(atoms, stats=stats)
+        check_sat(atoms, stats=stats)
+        assert stats.memo_hits == 0 and stats.memo_misses == 0
+        assert len(SOLVER_MEMO.check) == 0
+
+    def test_registry_counts_only_real_runs(self):
+        checks = metrics.counter("solver.checks")
+        before = checks.value
+        d = LinExpr.var("d")
+        atoms = [eq(d, LinExpr.constant(7))]
+        check_sat(atoms)
+        check_sat(atoms)
+        # One real decision-procedure run; the second call was a memo hit.
+        assert checks.value == before + 1
+
+    def test_nonnull_set_is_part_of_the_key(self):
+        # Same atoms, different nonnull roots must not share a verdict.
+        q1 = Query("M.m")
+        v1 = q1.new_ref(frozenset({A}), maybe_null=False)
+        q1.set_local("x", v1)
+        q2 = Query("M.m")
+        v2 = q2.new_ref(frozenset({A}), maybe_null=True)
+        q2.set_local("x", v2)
+        assert q1.nonnull_roots() != q2.nonnull_roots()
+        assert check_sat([], nonnull=q1.nonnull_roots())
+        assert check_sat([], nonnull=q2.nonnull_roots())
+        assert len(SOLVER_MEMO.check) == 2
+
+    def test_set_enabled_and_clear(self):
+        memo = SolverMemo(capacity=4)
+        memo.check.put("k", True)
+        memo.entailment.put("k", False)
+        memo.clear()
+        assert len(memo.check) == 0 and len(memo.entailment) == 0
+        memo.set_enabled(False)
+        assert memo.enabled is False
+
+
+class TestRefutedStateCache:
+    def test_empty_cache_never_subsumes(self):
+        cache = RefutedStateCache()
+        q = query_with_region(frozenset({A}))
+        assert not cache.subsumes(("loop", 1), q)
+        assert cache.stats()["misses"] == 1
+
+    def test_stronger_state_subsumed_by_cached_refutation(self):
+        cache = RefutedStateCache()
+        weak = query_with_region(frozenset({A, B}))
+        cache.add_many([(("loop", 1), weak)])
+        strong = query_with_region(frozenset({A}))
+        assert cache.subsumes(("loop", 1), strong)
+        assert cache.stats()["hits"] == 1
+
+    def test_weaker_state_not_subsumed(self):
+        cache = RefutedStateCache()
+        strong = query_with_region(frozenset({A}))
+        cache.add_many([(("loop", 1), strong)])
+        weak = query_with_region(frozenset({A, B}))
+        assert not cache.subsumes(("loop", 1), weak)
+
+    def test_points_are_isolated(self):
+        cache = RefutedStateCache()
+        q = query_with_region(frozenset({A}))
+        cache.add_many([(("loop", 1), q)])
+        assert not cache.subsumes(("loop", 2), query_with_region(frozenset({A})))
+
+    def test_per_point_cap(self):
+        cache = RefutedStateCache(max_per_point=3)
+        entries = [
+            (("loop", 1), query_with_region(frozenset({loc(f"s{i}")})))
+            for i in range(10)
+        ]
+        cache.add_many(entries)
+        assert cache.stats()["states"] == 3
+
+    def test_clear_and_len(self):
+        cache = RefutedStateCache()
+        cache.add_many([(("loop", i), query_with_region(frozenset({A}))) for i in range(4)])
+        assert len(cache) == 4
+        assert cache.stats()["points"] == 4
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_rejects_nonpositive_stripes(self):
+        with pytest.raises(ValueError):
+            RefutedStateCache(stripes=0)
+
+
+class TestFacade:
+    def test_snapshot_contains_all_cache_metrics(self):
+        snap = perf.cache_stats_snapshot()
+        for name in perf.CACHE_METRIC_NAMES:
+            assert name in snap
+        assert "solver.intern_hits" in snap
+        pickle.dumps(snap)  # must survive the process-pool trip
+
+    def test_cache_report_merges_worker_snapshots(self):
+        base = perf.cache_stats_snapshot()
+        worker = {"solver.memo_hits": 10, "solver.memo_misses": 10}
+        report = perf.cache_report([worker])
+        memo = report["solver_memo"]
+        assert memo["hits"] == base["solver.memo_hits"] + 10
+        assert memo["misses"] == base["solver.memo_misses"] + 10
+        assert 0.0 <= memo["hit_rate"] <= 1.0
+
+    def test_hit_rate_zero_when_untouched(self):
+        report = perf.cache_report(
+            [{"executor.refuted_cache_hits": 0, "executor.refuted_cache_misses": 0}]
+        )
+        assert isinstance(report["refuted_states"]["hit_rate"], float)
+
+    def test_intern_gauges_refresh(self):
+        perf.refresh_intern_gauges()
+        assert metrics.gauge("solver.intern_size").value >= 0
