@@ -1,0 +1,61 @@
+"""Programmatic refutation certificates through the `analyze` facade.
+
+A leak alarm that the refuter kills is only as trustworthy as the reasons
+each branch of the search died. With ``journal=True`` the facade records a
+per-query search journal and attaches it to the result, so you can ask
+*why* an edge was refuted — which branches were explored, and which typed
+kill reason (instance-constraint contradiction, solver unsat, loop
+invariant, ...) ended each one — without re-running anything.
+
+Run:  python examples/explain_leak.py
+"""
+
+from repro.api import analyze
+
+APP = """
+class A extends Activity {
+    static boolean keep = false;
+    static Activity cache;
+    static Activity leaked;
+    void onCreate() { if (A.keep) { A.cache = this; } A.leaked = this; }
+}
+"""
+
+
+def explain(root_field: str) -> None:
+    result = analyze(
+        client="reachability",
+        source=APP,
+        include_library=True,
+        root_class="A",
+        root_field=root_field,
+        target_class="Activity",
+        journal=True,
+    )
+    print(f"=== A.{root_field} -> Activity: {result.status} ===")
+    attribution = result.report.attribution
+    print(
+        f"dead branches across the run: {attribution['total_kills']}"
+        f" {attribution['kills'] or ''}\n"
+    )
+    for record in result.report.records:
+        # The certificate is rendered from the attached journal: the full
+        # spawn/kill tree of the search for this edge, every leaf labelled
+        # with the reason it died (or the witness that survived).
+        print(result.certificate(record.description))
+        print()
+
+
+def main() -> None:
+    # A.cache is only written under `A.keep`, which is never true: every
+    # producer search dies and the edge is *refuted* — the certificate
+    # names the contradiction that killed each branch.
+    explain("cache")
+    # A.leaked is written unconditionally: the search finds a surviving
+    # path program, so the alarm is real and the journal shows the
+    # witnessed branch alongside the pruned ones.
+    explain("leaked")
+
+
+if __name__ == "__main__":
+    main()

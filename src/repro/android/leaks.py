@@ -125,6 +125,7 @@ class LeakChecker:
         target_class: str = "Activity",
         jobs: int = 1,
         deadline: Optional[float] = None,
+        backend: Optional[str] = None,
         driver: Optional[RefutationDriver] = None,
         on_event: Optional[Callable[[object], None]] = None,
     ) -> None:
@@ -147,6 +148,7 @@ class LeakChecker:
             config or SearchConfig(),
             jobs=jobs,
             deadline=deadline,
+            backend=backend,
             on_event=on_event,
         )
         self.config = self.driver.config
@@ -222,8 +224,15 @@ def check_app(
     config: Optional[SearchConfig] = None,
     jobs: int = 1,
     deadline: Optional[float] = None,
+    backend: Optional[str] = None,
 ) -> LeakReport:
     """Convenience one-shot entry point."""
     return LeakChecker(
-        app_source, app_name, annotated, config, jobs=jobs, deadline=deadline
+        app_source,
+        app_name,
+        annotated,
+        config,
+        jobs=jobs,
+        deadline=deadline,
+        backend=backend,
     ).run()

@@ -72,6 +72,12 @@ class AnalysisRequest:
     #: ``False`` ablates the layer (CLI --no-memo / --no-subsumption).
     memoize: Optional[bool] = None
     subsumption: Optional[bool] = None
+    #: Worker pool flavor for ``jobs > 1``: "thread" (default) or "process".
+    backend: Optional[str] = None
+    #: Record a per-query search journal for the run and attach it to the
+    #: result (``result.journal``, ``result.certificate(desc)``). If a
+    #: journal is already installed process-wide it is reused.
+    journal: bool = False
     config: Optional[SearchConfig] = None
     on_event: Optional[Callable[[object], None]] = None
 
@@ -127,46 +133,59 @@ def analyze(request: Optional[AnalysisRequest] = None, /, **kwargs) -> AnalysisR
     pta = _resolve_pta(request)
     config = _resolve_config(request)
     from .engine import RefutationDriver
+    from .obs import provenance
 
+    journal = provenance.get_journal()
+    installed = False
+    if request.journal and journal is None:
+        journal = provenance.install()
+        installed = True
     driver = RefutationDriver(
         pta,
         config,
         jobs=request.jobs,
         deadline=request.deadline,
+        backend=request.backend,
         on_event=request.on_event,
     )
     try:
         if request.client == "casts":
-            return analyze_casts(pta, config=config, engine=driver)
-        if request.client == "immutability":
+            result = analyze_casts(pta, config=config, engine=driver)
+        elif request.client == "immutability":
             if request.class_name is None:
                 raise ValueError("immutability needs class_name=")
-            return analyze_immutability(
+            result = analyze_immutability(
                 pta, request.class_name, config=config, engine=driver
             )
-        if request.client == "encapsulation":
+        elif request.client == "encapsulation":
             if request.owner_class is None or request.field_name is None:
                 raise ValueError(
                     "encapsulation needs owner_class= and field_name="
                 )
-            return analyze_encapsulation(
+            result = analyze_encapsulation(
                 pta,
                 request.owner_class,
                 request.field_name,
                 config=config,
                 engine=driver,
             )
-        return analyze_reachability(
-            pta,
-            request.root_class,
-            request.root_field,
-            request.target_class,
-            site=request.site,
-            config=config,
-            engine=driver,
-        )
+        else:
+            result = analyze_reachability(
+                pta,
+                request.root_class,
+                request.root_field,
+                request.target_class,
+                site=request.site,
+                config=config,
+                engine=driver,
+            )
     finally:
         driver.close()
+        if installed:
+            provenance.disable()
+    if request.journal:
+        result.journal = journal
+    return result
 
 
 __all__ = ["AnalysisRequest", "AnalysisResult", "AnalysisStats", "analyze", "CLIENTS"]

@@ -7,6 +7,10 @@ Subcommands::
     thresher bench [--table1 | --table2] [--app NAME]  run the evaluation
     thresher witness APP.mj CLASS.FIELD                witness/refute one field
     thresher casts APP.mj                              check every downcast
+    thresher explain --report R.json [--journal J.jsonl]
+                                                       render a refutation
+                                                       certificate or witness
+                                                       narrative for one edge
 
 ``APP.mj`` is a mini-Java source file (the app only; the Android library
 and the lifecycle harness are added automatically unless ``--no-library``).
@@ -28,6 +32,14 @@ share the parallel-driver flags:
     Ablation switches for the :mod:`repro.perf` caches: disable solver
     verdict memoization, or the refuted-state cache plus worklist
     subsumption, respectively (see ``docs/performance.md``).
+``--backend {thread,process}``
+    Worker pool flavor for ``--jobs N > 1`` (default thread). The process
+    backend ships per-worker metrics/span/journal payloads back to the
+    parent and merges them.
+``--journal FILE``
+    Record a per-query search journal (every state spawned/killed/
+    witnessed, with typed kill reasons) and write it as JSONL; feed it to
+    ``thresher explain`` for refutation certificates.
 
 Every subcommand additionally accepts the observability flags:
 
@@ -107,6 +119,18 @@ def _add_driver_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the refuted-state cache and worklist subsumption (ablation)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=["thread", "process"],
+        default=None,
+        help="worker pool flavor for --jobs N (default: thread)",
+    )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help="write the per-query search journal (JSONL) for 'thresher explain'",
+    )
 
 
 def _search_config(args, **overrides):
@@ -156,12 +180,54 @@ def main(argv: list[str] | None = None) -> int:
     p_casts.add_argument("--budget", type=int, default=10_000)
     _add_driver_flags(p_casts)
 
+    p_explain = sub.add_parser(
+        "explain",
+        help="render a refutation certificate (or witness narrative) for one edge",
+    )
+    p_explain.add_argument(
+        "--report", required=True, metavar="R.json",
+        help="run report written by --json-report",
+    )
+    p_explain.add_argument(
+        "--journal", default=None, metavar="J.jsonl",
+        help="search journal written by --journal (needed for certificates)",
+    )
+    p_explain.add_argument(
+        "--edge", default=None, metavar="DESC",
+        help="edge/fact description to explain (substring match)",
+    )
+    p_explain.add_argument(
+        "--status", choices=["refuted", "witnessed", "timeout"], default=None,
+        help="explain the first record with this verdict instead of --edge",
+    )
+    p_explain.add_argument(
+        "--dot", default=None, metavar="FILE",
+        help="also write the search tree as Graphviz DOT",
+    )
+    p_explain.add_argument(
+        "--source", default=None, metavar="APP.mj",
+        help="app source, enables the witness path narrative for witnessed edges",
+    )
+    p_explain.add_argument(
+        "--no-library", action="store_true",
+        help="with --source: do not wrap the app in the Android harness",
+    )
+    p_explain.add_argument(
+        "--list", action="store_true",
+        help="list the report's records (description + verdict) and exit",
+    )
+
     args = parser.parse_args(argv)
     tracer = None
-    if getattr(args, "trace", None):
+    journal = None
+    if getattr(args, "trace", None) and args.command != "explain":
         from .obs import trace
 
         tracer = trace.install()
+    if getattr(args, "journal", None) and args.command != "explain":
+        from .obs import provenance
+
+        journal = provenance.install()
     try:
         if args.command == "check":
             return _cmd_check(args)
@@ -173,6 +239,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_witness(args)
         if args.command == "casts":
             return _cmd_casts(args)
+        if args.command == "explain":
+            return _cmd_explain(args)
         return 2
     finally:
         if tracer is not None:
@@ -180,6 +248,11 @@ def main(argv: list[str] | None = None) -> int:
 
             tracer.write(args.trace)
             trace.disable()
+        if journal is not None:
+            from .obs import provenance
+
+            journal.write_jsonl(args.journal)
+            provenance.disable()
         if getattr(args, "metrics", None):
             from . import perf
             from .obs import metrics
@@ -210,6 +283,7 @@ def _cmd_check(args) -> int:
         config=_search_config(args, path_budget=args.budget),
         jobs=args.jobs,
         deadline=args.deadline,
+        backend=args.backend,
         on_event=_on_event(args),
     )
     report = checker.run()
@@ -314,6 +388,7 @@ def _cmd_witness(args) -> int:
         config=_search_config(args, path_budget=args.budget),
         jobs=args.jobs,
         deadline=args.deadline,
+        backend=args.backend,
         on_event=_on_event(args),
     )
     root = StaticFieldNode(class_name, field_name)
@@ -356,6 +431,7 @@ def _cmd_casts(args) -> int:
         _search_config(args, path_budget=args.budget),
         jobs=args.jobs,
         deadline=args.deadline,
+        backend=args.backend,
         on_event=_on_event(args),
     )
     result = analyze_casts(pta, engine=driver)
@@ -374,6 +450,105 @@ def _cmd_casts(args) -> int:
         driver.build_report(app=args.file, command="casts").write(args.json_report)
     driver.close()
     return 0
+
+
+def _cmd_explain(args) -> int:
+    from .engine.report import RunReport
+    from .obs import provenance
+
+    report = RunReport.from_json(_read(args.report))
+    if args.list:
+        for record in report.records:
+            kills = sum(record.kill_reasons.values())
+            extra = f", {kills} dead branch(es)" if kills else ""
+            print(f"{record.status:9s} {record.description}{extra}")
+        return 0
+    record = _pick_record(report, args.edge, args.status)
+    if record is None:
+        wanted = args.edge or args.status or "<first>"
+        print(f"no record matching {wanted!r} in {args.report}", file=sys.stderr)
+        print("records:", file=sys.stderr)
+        for r in report.records:
+            print(f"  {r.status:9s} {r.description}", file=sys.stderr)
+        return 2
+    journal = None
+    if args.journal:
+        journal = provenance.RunJournal.read_jsonl(args.journal)
+    if record.status == "witnessed":
+        _explain_witness(args, record)
+    else:
+        if journal is None:
+            print(
+                f"{record.description}: {record.status.upper()}"
+                f" ({record.path_programs} path programs,"
+                f" {record.seconds:.2f}s)"
+            )
+            print(
+                "pass --journal J.jsonl (recorded with the run's --journal"
+                " flag) for the full refutation certificate",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                provenance.render_certificate(
+                    record.description, journal, status=record.status
+                )
+            )
+    if args.dot:
+        if journal is None:
+            print("--dot requires --journal", file=sys.stderr)
+            return 2
+        searches = journal.searches_for(record.description)
+        with open(args.dot, "w") as fh:
+            fh.write(provenance.to_dot(searches, title=record.description))
+            fh.write("\n")
+    return 0
+
+
+def _pick_record(report, edge: str | None, status: str | None):
+    records = report.records
+    if edge is not None:
+        for r in records:
+            if r.description == edge:
+                return r
+        for r in records:
+            if edge in r.description:
+                return r
+        return None
+    if status is not None:
+        for r in records:
+            if r.status == status:
+                return r
+        return None
+    return records[0] if records else None
+
+
+def _explain_witness(args, record) -> None:
+    from .symbolic.witness import render_trace
+
+    header = (
+        f"witness for {record.description} [{record.status}]"
+        f" — the alarm survives: a concrete path produces the edge"
+    )
+    if not args.source:
+        print(header)
+        if record.witness_trace:
+            print("  trace labels: " + " -> ".join(map(str, record.witness_trace)))
+        print(
+            "pass --source APP.mj to render the source-anchored path program",
+            file=sys.stderr,
+        )
+        return
+    from .android.harness import build_full_source
+    from .ir import build_program
+    from .lang import frontend
+
+    if args.no_library:
+        source = _read(args.source)
+    else:
+        source = build_full_source(_read(args.source))
+    program = build_program(frontend(source))
+    print(render_trace(program, record.witness_trace or [], header))
 
 
 if __name__ == "__main__":

@@ -60,6 +60,33 @@ class AnalysisResult:
     results: list = field(default_factory=list)
     stats: AnalysisStats = field(default_factory=AnalysisStats)
     report: Optional[RunReport] = None
+    #: The run's search journal (:class:`repro.obs.provenance.RunJournal`)
+    #: when the request asked for one (``AnalysisRequest(journal=True)``).
+    journal: Optional[object] = None
+
+    def certificate(self, description: str) -> str:
+        """The refutation certificate (or search provenance) for one job,
+        rendered from the attached journal. ``description`` matches the
+        job's record description (exact, else substring)."""
+        if self.journal is None:
+            raise ValueError(
+                "no journal attached: run the analysis with"
+                " AnalysisRequest(journal=True)"
+            )
+        from ..obs import provenance
+
+        status = None
+        if self.report is not None:
+            for record in self.report.records:
+                if (
+                    record.description == description
+                    or description in record.description
+                ):
+                    status = record.status
+                    break
+        return provenance.render_certificate(
+            description, self.journal, status=status
+        )
 
     def __str__(self) -> str:
         s = self.stats

@@ -38,7 +38,7 @@ from contextlib import contextmanager
 from typing import Callable, Optional, Sequence
 
 from .. import perf
-from ..obs import metrics, trace
+from ..obs import metrics, provenance, trace
 from ..perf.cache import RefutedStateCache
 from ..pointsto import PointsToResult
 from ..pointsto.graph import HeapEdge
@@ -126,6 +126,10 @@ class RefutationDriver:
         self._lock = threading.Lock()
         self._records: dict = {}  # job key -> EdgeRecord, insertion-ordered
         self._worker_snapshots: dict[str, dict] = {}
+        #: Latest full metrics-registry snapshot per process worker
+        #: (cumulative, latest wins); merged into the parent registry
+        #: exactly once, at :meth:`close`.
+        self._worker_metrics: dict[str, dict] = {}
         self._wall_seconds = 0.0
         self._pool: Optional[_FuturesExecutor] = None
         self._tls = threading.local()
@@ -159,7 +163,14 @@ class RefutationDriver:
         if self._pool is None:
             if self.backend == PROCESS:
                 try:
-                    payload = pickle.dumps((self.pta, self.config))
+                    payload = pickle.dumps(
+                        (
+                            self.pta,
+                            self.config,
+                            trace.enabled(),
+                            provenance.enabled(),
+                        )
+                    )
                     self._pool = ProcessPoolExecutor(
                         max_workers=self.jobs,
                         initializer=_process_init,
@@ -177,10 +188,19 @@ class RefutationDriver:
         return self._pool
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down and fold pending process-worker
+        metrics into the parent registry (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        with self._lock:
+            worker_metrics = list(self._worker_metrics.values())
+            self._worker_metrics = {}
+            # The cache section of any later build_report must not re-add
+            # counters that the registry merge below already folded in.
+            self._worker_snapshots = {}
+        for snap in worker_metrics:
+            metrics.REGISTRY.merge_snapshot(snap)
         if self._tracer is not None:
             self._tracer.remove_sink(self._on_span)
             self._tracer = None
@@ -419,7 +439,9 @@ class RefutationDriver:
             if self.jobs == 1 or total <= 1:
                 for i, (label, bindings, description) in enumerate(requests):
                     with self._job_span("fact", description):
-                        result = self.engine.refute_fact_at(label, bindings)
+                        result = self.engine.refute_fact_at(
+                            label, bindings, description=description
+                        )
                     _JOBS_DONE.inc()
                     _JOB_SECONDS.observe(result.seconds)
                     results[i] = result
@@ -435,7 +457,9 @@ class RefutationDriver:
                         EdgeScheduled(description=description, index=i, total=total)
                     )
                     if self.backend == PROCESS:
-                        fut = pool.submit(_process_refute_fact, label, bindings)
+                        fut = pool.submit(
+                            _process_refute_fact, label, bindings, description
+                        )
                     else:
                         fut = pool.submit(
                             self._thread_refute_fact, label, bindings, description
@@ -459,7 +483,7 @@ class RefutationDriver:
     ) -> tuple[EdgeResult, str]:
         engine, worker = self._worker_engine()
         with self._job_span("fact", description):
-            result = engine.refute_fact_at(label, bindings)
+            result = engine.refute_fact_at(label, bindings, description=description)
         _JOBS_DONE.inc()
         _JOB_SECONDS.observe(result.seconds)
         return result, worker
@@ -470,13 +494,27 @@ class RefutationDriver:
 
     def _unpack(self, payload: tuple) -> tuple[EdgeResult, str]:
         """Unpack a worker's return value. Process workers append their
-        process-cumulative cache-counter snapshot; the latest snapshot per
-        worker wins (counters are cumulative, so summing per-job values
-        would double-count) and is merged into the run report."""
-        if len(payload) == 3:
-            result, worker, snapshot = payload
+        process-cumulative cache-counter snapshot (latest snapshot per
+        worker wins — counters are cumulative, so summing per-job values
+        would double-count; merged into the run report) plus an ``obs``
+        dict: a cumulative metrics snapshot (latest wins, merged at
+        :meth:`close`), drained span records (incremental, absorbed into
+        the parent tracer now), and drained search journals (incremental,
+        absorbed into the parent run journal now)."""
+        if len(payload) == 4:
+            result, worker, snapshot, obs = payload
             with self._lock:
                 self._worker_snapshots[worker] = snapshot
+                if "metrics" in obs:
+                    self._worker_metrics[worker] = obs["metrics"]
+            spans = obs.get("spans")
+            if spans and self._tracer is not None:
+                self._tracer.absorb(spans, obs["pid"], obs["wall_epoch"])
+            journals = obs.get("journals")
+            if journals:
+                book = provenance.get_journal()
+                if book is not None:
+                    book.absorb(journals)
             return result, worker
         result, worker = payload
         return result, worker
@@ -573,17 +611,47 @@ _PROCESS_ENGINE: Optional[Engine] = None
 
 def _process_init(payload: bytes) -> None:
     global _PROCESS_ENGINE
-    pta, config = pickle.loads(payload)
+    pta, config, trace_on, journal_on = pickle.loads(payload)
     _PROCESS_ENGINE = Engine(pta, config)
+    # Mirror the parent's observability setup so worker spans and search
+    # journals exist to be drained back after each job.
+    if trace_on:
+        trace.install()
+    if journal_on:
+        provenance.install()
 
 
-def _process_refute_edge(edge: HeapEdge) -> tuple[EdgeResult, str, dict]:
+def _worker_obs_payload() -> dict:
+    """Everything a process worker ships back besides the job result:
+    a cumulative metrics snapshot, plus incremental drains of the span
+    buffer and the search journals when those subsystems are on."""
+    obs: dict = {
+        "metrics": metrics.REGISTRY.snapshot(),
+        "pid": os.getpid(),
+    }
+    tracer = trace.get_tracer()
+    if tracer is not None:
+        obs["spans"] = [r.to_dict() for r in tracer.drain()]
+        obs["wall_epoch"] = tracer.wall_epoch
+    book = provenance.get_journal()
+    if book is not None:
+        obs["journals"] = book.drain()
+    return obs
+
+
+def _process_refute_edge(edge: HeapEdge) -> tuple[EdgeResult, str, dict, dict]:
     assert _PROCESS_ENGINE is not None
     result = _PROCESS_ENGINE.refute_edge(edge)
-    return result, f"process-{os.getpid()}", perf.cache_stats_snapshot()
+    worker = f"process-{os.getpid()}"
+    return result, worker, perf.cache_stats_snapshot(), _worker_obs_payload()
 
 
-def _process_refute_fact(label, bindings) -> tuple[EdgeResult, str, dict]:
+def _process_refute_fact(
+    label, bindings, description: str = "<fact>"
+) -> tuple[EdgeResult, str, dict, dict]:
     assert _PROCESS_ENGINE is not None
-    result = _PROCESS_ENGINE.refute_fact_at(label, bindings)
-    return result, f"process-{os.getpid()}", perf.cache_stats_snapshot()
+    result = _PROCESS_ENGINE.refute_fact_at(
+        label, bindings, description=description
+    )
+    worker = f"process-{os.getpid()}"
+    return result, worker, perf.cache_stats_snapshot(), _worker_obs_payload()

@@ -32,6 +32,9 @@ class EdgeRecord:
     worker: str = "serial"
     kind: str = "edge"  # edge | fact
     witness_trace: Optional[list] = None
+    #: Typed kill-reason counts from the search journal (empty unless a
+    #: provenance journal was installed for the run).
+    kill_reasons: dict = field(default_factory=dict)
 
     @classmethod
     def from_result(
@@ -54,6 +57,7 @@ class EdgeRecord:
             witness_trace=list(result.witness_trace)
             if result.witness_trace is not None
             else None,
+            kill_reasons=dict(result.kill_reasons),
         )
 
 
@@ -109,6 +113,20 @@ class RunReport:
         """Verdict per job description — the determinism-check payload."""
         return {r.description: r.status for r in self.records}
 
+    @property
+    def attribution(self) -> dict:
+        """Run-wide prune attribution: which mechanism killed how many
+        branches (the paper's "which mechanism refuted what" accounting).
+        Totals equal the sum of per-edge journal kill events."""
+        kills: dict[str, int] = {}
+        for r in self.records:
+            for reason, n in r.kill_reasons.items():
+                kills[reason] = kills.get(reason, 0) + n
+        return {
+            "kills": dict(sorted(kills.items())),
+            "total_kills": sum(kills.values()),
+        }
+
     # -- (de)serialization ----------------------------------------------------
 
     def to_dict(self) -> dict:
@@ -120,6 +138,7 @@ class RunReport:
             "path_programs": self.path_programs,
             "busy_seconds": self.busy_seconds,
         }
+        out["attribution"] = self.attribution
         return out
 
     def to_json(self, indent: Optional[int] = 2) -> str:

@@ -1,12 +1,16 @@
 """Observability for the refutation pipeline: span tracing + metrics.
 
-Two complementary substrates (see docs/observability.md):
+Three complementary substrates (see docs/observability.md):
 
 * :mod:`repro.obs.trace` — hierarchical span tracing with a near-zero-cost
   disabled default and Chrome trace-event JSON export (``--trace FILE``,
   loadable in ``chrome://tracing`` / Perfetto);
 * :mod:`repro.obs.metrics` — an always-on process-wide registry of named
-  counters, gauges, and p50/p95 histograms (``--metrics FILE``).
+  counters, gauges, and p50/p95 histograms (``--metrics FILE``);
+* :mod:`repro.obs.provenance` — per-query search journals recording every
+  state spawned/killed/witnessed during backwards symbolic execution, with
+  typed kill reasons, JSONL/DOT export, and refutation certificates
+  (``--journal FILE``, ``repro explain``). No-op unless installed.
 
 Usage from pipeline code::
 
@@ -20,18 +24,22 @@ Usage from pipeline code::
     _SEARCHES.inc()
 """
 
-from . import metrics, trace
+from . import metrics, provenance, trace
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, REGISTRY
+from .provenance import RunJournal, SearchJournal
 from .trace import SpanRecord, Tracer
 
 __all__ = [
     "metrics",
+    "provenance",
     "trace",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "REGISTRY",
+    "RunJournal",
+    "SearchJournal",
     "SpanRecord",
     "Tracer",
 ]

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
-from ..obs import metrics, trace
+from ..obs import metrics, provenance, trace
 from .terms import NULL, Atom, LinAtom, LinExpr, RefAtom, Var, _NullConst, tighten
 from .unionfind import UnionFind
 
@@ -108,6 +108,8 @@ def check_sat(
             _MEMO_HITS.inc()
             if not cached:
                 stats.unsat += 1
+                if provenance.enabled():
+                    provenance.note_unsat(atoms)
             return cached
         stats.memo_misses += 1
         _MEMO_MISSES.inc()
@@ -126,6 +128,8 @@ def check_sat(
         if not result:
             stats.unsat += 1
             _UNSAT.inc()
+            if provenance.enabled():
+                provenance.note_unsat(atoms)
     if memo_key is not None:
         SOLVER_MEMO.check.put(memo_key, result)
     return result

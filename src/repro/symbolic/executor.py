@@ -31,7 +31,7 @@ from typing import Optional, Union
 from ..ir import instructions as ins
 from ..ir.program import IRProgram
 from ..ir.stmts import AtomicStmt, Choice, Loop, Seq, Stmt
-from ..obs import metrics, trace
+from ..obs import metrics, provenance, trace
 from ..pointsto import ELEMS, PointsToResult
 from ..pointsto.graph import HeapEdge
 from ..perf.cache import RefutedStateCache
@@ -85,6 +85,9 @@ class PathState:
     k: Cons
     query: Query
     trace: Cons = ()  # cons-list of visited labels (newest first)
+    #: Search-journal state id (0 = not journaled: journaling disabled, or
+    #: a loop-inference subwalk state — see repro.obs.provenance).
+    sid: int = 0
 
 
 class SearchTimeout(Exception):
@@ -135,6 +138,9 @@ class Engine:
         self._edge_cache: dict = {}
         self._branch_mods: dict[int, ModSet] = {}
         self._branch_throw: dict[int, bool] = {}
+        #: The active search journal (repro.obs.provenance), or None: every
+        #: journaling hook below is a no-op when no journal is installed.
+        self._sj: Optional["provenance.SearchJournal"] = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -154,6 +160,10 @@ class Engine:
         self._arm_deadline(start)
         self._history = QueryHistory(
             enabled=self.config.simplify_queries, shared=self._refuted_cache
+        )
+        book = provenance.get_journal()
+        self._sj = (
+            book.open_search(str(edge), kind="edge") if book is not None else None
         )
         producers = self.pta.producers_of(edge)
         status = REFUTED
@@ -193,6 +203,10 @@ class Engine:
             refutation_kinds=dict(self.ctx.refutations),
             witness_trace=witness_trace,
         )
+        if self._sj is not None:
+            self._sj.close(status)
+            result.kill_reasons = dict(self._sj.kill_counts)
+            self._sj = None
         self.stats.record(result)
         self.stats.history_drops = self._history.drops
         self._edge_cache[key] = result
@@ -210,6 +224,7 @@ class Engine:
         label: int,
         bindings: list[tuple[str, Optional[frozenset]]],
         budget: Optional[int] = None,
+        description: Optional[str] = None,
     ) -> EdgeResult:
         """Generic heap-reachability fact checking: can execution reach the
         program point *just before* the command at ``label`` in a state
@@ -226,6 +241,12 @@ class Engine:
         self._history = QueryHistory(
             enabled=self.config.simplify_queries, shared=self._refuted_cache
         )
+        book = provenance.get_journal()
+        self._sj = (
+            book.open_search(description or f"fact@L{label}", kind="fact")
+            if book is not None
+            else None
+        )
         method = self.program.method_of_label(label)
         q = Query(method.qualified_name)
         for var, region in bindings:
@@ -238,6 +259,8 @@ class Engine:
             if not q.failed and q.check_sat(self.ctx.solver_stats):
                 k = self._continuation_before(method.qualified_name, label)
                 state = PathState(k, q, (label, ()))
+                if self._sj is not None:
+                    state.sid = self._sj.new_state(0, label, detail="fact root")
                 try:
                     self._spend()
                     found = self._search([state])
@@ -250,6 +273,14 @@ class Engine:
                 except SearchTimeout:
                     status = TIMEOUT
                     self._history.discard_pending()
+            elif self._sj is not None:
+                sid = self._sj.new_state(0, label, detail="fact root")
+                self._sj.kill(
+                    sid,
+                    label,
+                    provenance.classify_kill(q.fail_reason),
+                    q.fail_reason or "fact query unsatisfiable at its own site",
+                )
             sp.set(status=status, path_programs=baseline - self._budget_left)
         result = EdgeResult(
             edge=None,  # type: ignore[arg-type]
@@ -259,6 +290,10 @@ class Engine:
             refutation_kinds=dict(self.ctx.refutations),
             witness_trace=witness_trace,
         )
+        if self._sj is not None:
+            self._sj.close(status)
+            result.kill_reasons = dict(self._sj.kill_counts)
+            self._sj = None
         _observe_search(result, self.ctx.solver_stats.checks - checks_before)
         return result
 
@@ -296,17 +331,85 @@ class Engine:
         all paths are refuted."""
         stack = list(initial)
         explored = 0
+        sj = self._sj
+        state: Optional[PathState] = None
         try:
             while stack:
                 self._check_deadline(every=16)
                 state = stack.pop()
                 explored += 1
-                stack.extend(self._prune_batch(self._step(state)))
+                successors = self._step(state)
+                if sj is not None:
+                    for child in successors:
+                        child.sid = sj.new_state(
+                            state.sid, _trace_label(child.trace)
+                        )
+                stack.extend(self._prune_batch(successors))
         except _Witnessed as w:
+            if sj is not None:
+                sj.witness(w.state.sid, _trace_label(w.state.trace))
             return w.state
+        except SearchTimeout:
+            if sj is not None:
+                if state is not None and state.sid:
+                    sj.kill(
+                        state.sid,
+                        _trace_label(state.trace),
+                        provenance.BUDGET_TIMEOUT,
+                        "path budget or wall-clock deadline exhausted",
+                    )
+                for s in stack:
+                    if s.sid:
+                        sj.kill(
+                            s.sid,
+                            _trace_label(s.trace),
+                            provenance.BUDGET_TIMEOUT,
+                            "abandoned on the worklist at timeout",
+                        )
+            raise
         finally:
             _STATES_EXPLORED.inc(explored)
         return None
+
+    # ------------------------------------------------------------------
+    # Journaling hooks (no-ops when no journal is installed; subwalk
+    # states carry sid 0 and are never journaled)
+    # ------------------------------------------------------------------
+
+    def _jkill(
+        self,
+        state: PathState,
+        reason: str,
+        detail: str = "",
+        label: Optional[int] = None,
+    ) -> None:
+        sj = self._sj
+        if sj is None or state.sid == 0:
+            return
+        sj.kill(
+            state.sid,
+            label if label is not None else _trace_label(state.trace),
+            reason,
+            detail,
+        )
+
+    def _jkill_fail(
+        self,
+        state: PathState,
+        fail_reason: Optional[str],
+        label: Optional[int] = None,
+    ) -> None:
+        """Kill attributed from a raw refutation string; solver-unsat kills
+        are enriched with the constraint the decision procedure rejected."""
+        if self._sj is None or state.sid == 0:
+            return
+        reason = provenance.classify_kill(fail_reason)
+        detail = fail_reason or ""
+        if reason == provenance.SOLVER_UNSAT:
+            unsat = provenance.take_last_unsat()
+            if unsat:
+                detail = f"{detail} [{unsat}]" if detail else unsat
+        self._jkill(state, reason, detail, label)
 
     def _flush_refuted(self) -> None:
         """Publish the just-refuted search's recorded states to the shared
@@ -330,13 +433,19 @@ class Engine:
         kept_rev: list[PathState] = []
         dropped = 0
         for s in reversed(states):
-            dominated = False
+            dominated: Optional[PathState] = None
             for t in kept_rev:
                 if s.k is t.k and query_entails(s.query, t.query):
-                    dominated = True
+                    dominated = t
                     break
-            if dominated:
+            if dominated is not None:
                 dropped += 1
+                self._jkill(
+                    s,
+                    provenance.WORKLIST_SUBSUMED,
+                    f"entailed by sibling state s{dominated.sid}:"
+                    " refuting the weaker query refutes this one",
+                )
                 continue
             kept_rev.append(s)
         if not dropped:
@@ -395,13 +504,40 @@ class Engine:
             key = ("loop", stmt.label)
             # Subwalk states have a truncated continuation (the loop body
             # only), so they must not consult or feed the cross-search cache.
-            if self._history.should_drop(key, state.query, flushable=not in_subwalk):
+            dropped = self._history.should_drop(
+                key, state.query, flushable=not in_subwalk
+            )
+            if dropped:
+                self._jkill(
+                    state,
+                    provenance.REFUTED_CACHE_HIT
+                    if dropped == "shared"
+                    else provenance.LOOP_INVARIANT_DROP,
+                    f"loop L{stmt.label}: "
+                    + (
+                        "an earlier refuted search already proved this"
+                        " state a dead end"
+                        if dropped == "shared"
+                        else "the loop-head history holds an"
+                        " already-explored weaker query"
+                    ),
+                    label=stmt.label,
+                )
                 return []
             queries = loops.saturate(self, stmt, state.query)
-            return [
+            out = [
                 self._continue(PathState(rest, q, state.trace), in_subwalk)
                 for q in queries
             ]
+            if not out:
+                self._jkill(
+                    state,
+                    provenance.LOOP_INVARIANT_DROP,
+                    f"loop L{stmt.label}: invariant inference refuted"
+                    " every disjunct",
+                    label=stmt.label,
+                )
+            return out
         assert isinstance(stmt, AtomicStmt)
         return self._atomic(stmt.cmd, task, rest, state, in_subwalk)
 
@@ -431,6 +567,9 @@ class Engine:
             return self._invoke(cmd, rest, state, state.trace, in_subwalk)
         queries = transfer_command(cmd, q, self.ctx)
         queries = self._explode_explicit(queries)
+        if not queries:
+            self._jkill_fail(state, self.ctx.last_reason, label=cmd.label)
+            return []
         return [PathState(rest, qi, trace) for qi in queries]
 
 
@@ -477,6 +616,13 @@ class Engine:
         # point unreachable (exceptions are never caught).
         if not self.pta.completion.call_may_complete(cmd.label):
             self.ctx.count_refutation("control: callee never completes normally")
+            self._jkill(
+                state,
+                provenance.CONTROL_UNREACHABLE,
+                f"call @L{cmd.label} never completes normally: every later"
+                " program point is unreachable",
+                label=cmd.label,
+            )
             return []
         callees = sorted(self.pta.callees_of(cmd.label))
         mod = ModSet()
@@ -488,6 +634,7 @@ class Engine:
             return [PathState(rest, q, (cmd.label, trace))]
         if not callees or len(q.stack) >= self.config.max_call_depth:
             self._skip_call(cmd, q, mod)
+            self._jnote_skip(state, cmd)
             return [PathState(rest, q, (cmd.label, trace))]
         callees = self._filter_dispatch(cmd, q, callees)
         out = []
@@ -496,6 +643,7 @@ class Engine:
             if callee is None:
                 q2 = q.copy()
                 self._skip_call(cmd, q2, mod)
+                self._jnote_skip(state, cmd)
                 out.append(PathState(rest, q2, trace))
                 continue
             if len(callees) > 1:
@@ -511,7 +659,30 @@ class Engine:
                 q2.locals[(fid, "$ret")] = ret_val
             k = (StmtTask(callee.body), (EnterMethodTask(callee_qname), rest))
             out.append(PathState(k, q2, trace))
+        if not out:
+            self.ctx.count_refutation("dispatch")
+            self._jkill(
+                state,
+                provenance.INSTANCE_CONSTRAINT,
+                f"virtual dispatch @L{cmd.label}: no callee is consistent"
+                " with the receiver's instance region",
+                label=cmd.label,
+            )
         return out
+
+    def _jnote_skip(self, state: PathState, cmd: ins.Invoke) -> None:
+        """Record the sound-but-lossy callee skip in the journal (a note,
+        not a kill: the state survives with weakened constraints)."""
+        if self._sj is None or state.sid == 0:
+            return
+        self._sj.note(
+            state.sid,
+            provenance.CALLEE_SKIP_DROP,
+            f"call @L{cmd.label} skipped soundly: dropped every constraint"
+            " the callee might produce (mod/ref fields, statics,"
+            " transitively-allocated instances)",
+            label=cmd.label,
+        )
 
     def _call_relevant(self, cmd: ins.Invoke, q: Query, mod: ModSet) -> bool:
         if cmd.lhs is not None and q.get_local(cmd.lhs) is not None:
@@ -649,8 +820,21 @@ class Engine:
         self, task: EnterMethodTask, rest: Cons, state: PathState, in_subwalk: bool
     ) -> list[PathState]:
         q = state.query
-        if not in_subwalk and self._history.should_drop(("entry", task.qname), q):
-            return []
+        if not in_subwalk:
+            dropped = self._history.should_drop(("entry", task.qname), q)
+            if dropped:
+                self._jkill(
+                    state,
+                    provenance.REFUTED_CACHE_HIT
+                    if dropped == "shared"
+                    else provenance.HISTORY_SUBSUMED,
+                    f"entry of {task.qname}: an already-refuted query"
+                    " entails this one"
+                    if dropped == "shared"
+                    else f"entry of {task.qname}: subsumed by a query already"
+                    " visited on this search",
+                )
+                return []
         method = self.program.methods[task.qname]
         if q.stack:
             frame = q.stack[-1]
@@ -658,27 +842,55 @@ class Engine:
             assert isinstance(invoke, ins.Invoke)
             q2 = q
             if not self._bind_entry(q2, method, invoke, pop=True):
+                self._jkill_fail(
+                    state,
+                    q2.fail_reason or self.ctx.last_reason,
+                    label=frame.invoke_label,
+                )
                 return []
             return [PathState(rest, q2, (frame.invoke_label, state.trace))]
         # Empty stack: the absolute entry, or expand into callers.
         if task.qname == self.root:
             if self._entry_satisfiable(q):
                 raise _Witnessed(state)
+            self._jkill_fail(
+                state,
+                q.fail_reason
+                or self.ctx.last_reason
+                or "entry: initial program state contradicts query",
+            )
             return []  # unproducible constraints at program start: refuted
         callers = sorted(self.pta.callers_of(task.qname))
         out = []
+        attempted = 0
+        last_fail: Optional[str] = None
         for caller_qname, label in callers:
             invoke = self.program.commands.get(label)
             if not isinstance(invoke, ins.Invoke):
                 continue
             self._spend()
+            attempted += 1
             q2 = q.copy()
             if not self._bind_entry(
                 q2, method, invoke, pop=False, caller_qname=caller_qname
             ):
+                last_fail = q2.fail_reason or self.ctx.last_reason
                 continue
             k = self._continuation_before(caller_qname, label)
             out.append(PathState(k, q2, (label, state.trace)))
+        if not out and not in_subwalk:
+            if attempted == 0:
+                self._jkill(
+                    state,
+                    provenance.CONTROL_UNREACHABLE,
+                    f"{task.qname} has no callers: the query cannot reach"
+                    " the program entry",
+                )
+            else:
+                self._jkill_fail(
+                    state,
+                    last_fail or "entry binding failed at every caller",
+                )
         return out
 
     def _entry_satisfiable(self, q: Query) -> bool:
@@ -861,11 +1073,31 @@ class Engine:
         else:  # pragma: no cover - producers are always writes
             return None
         if not ok or q.failed or not q.check_sat(self.ctx.solver_stats):
+            if self._sj is not None:
+                sid = self._sj.new_state(0, label, detail="producer")
+                reason = provenance.classify_kill(
+                    q.fail_reason or self.ctx.last_reason
+                )
+                self._sj.kill(
+                    sid,
+                    label,
+                    reason,
+                    q.fail_reason
+                    or self.ctx.last_reason
+                    or "producer query unsatisfiable at its own statement",
+                )
             return None
         self._spend()
         k = self._continuation_before(method.qualified_name, label)
         state = PathState(k, q, (label, ()))
+        if self._sj is not None:
+            state.sid = self._sj.new_state(0, label, detail="producer")
         return state
+
+
+def _trace_label(trace: Cons) -> Optional[int]:
+    """The most recently visited label of a state (None before any)."""
+    return trace[0] if trace != () else None
 
 
 def _materialize(trace: Cons) -> list[int]:

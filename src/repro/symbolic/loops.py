@@ -47,6 +47,15 @@ def saturate(engine: "Engine", loop: "Loop", query: Query) -> list[Query]:
         invariant = _saturate(engine, loop, query)
         sp.set(disjuncts=len(invariant))
     _INVARIANT_SIZE.observe(len(invariant))
+    sj = getattr(engine, "_sj", None)
+    if sj is not None:
+        sj.note(
+            0,
+            "loop-invariant",
+            f"inferred a loop invariant with {len(invariant)} disjunct(s)"
+            f" at the head of loop @L{loop.label}",
+            label=loop.label,
+        )
     return invariant
 
 

@@ -163,10 +163,13 @@ class QueryHistory:
 
     def should_drop(
         self, point_key: tuple, query: Query, flushable: bool = True
-    ) -> bool:
-        """True if an already-explored weaker query (this search) or an
-        already-refuted query (shared cache) subsumes this one. Otherwise
-        records the query for future checks."""
+    ):
+        """Truthy if an already-explored weaker query (this search) or an
+        already-refuted query (shared cache) subsumes this one; otherwise
+        records the query for future checks and returns ``False``. The
+        truthy values distinguish the source for provenance: ``"history"``
+        for the per-search visit history, ``"shared"`` for the cross-search
+        refuted-state cache."""
         if not self.enabled:
             return False
         key = (point_key, query.stack_signature())
@@ -174,10 +177,10 @@ class QueryHistory:
         for old in history:
             if query_entails(query, old):
                 self.drops += 1
-                return True
+                return "history"
         if self.shared is not None and flushable and self.shared.subsumes(key, query):
             self.drops += 1
-            return True
+            return "shared"
         if len(history) < self.max_per_point:
             snapshot = query.copy()
             history.append(snapshot)

@@ -25,6 +25,9 @@ class EdgeResult:
     #: For witnessed edges: labels of the witnessing path program, in
     #: forward execution order (the paper's triaging aid).
     witness_trace: Optional[list[int]] = None
+    #: Typed kill-reason counts from the search journal (empty unless a
+    #: provenance journal was attached for the run).
+    kill_reasons: dict[str, int] = field(default_factory=dict)
 
     @property
     def refuted(self) -> bool:
@@ -49,6 +52,9 @@ class SearchStats:
     path_programs: int = 0
     seconds: float = 0.0
     history_drops: int = 0
+    #: Run-wide prune attribution: kill reason -> dead branches, summed
+    #: over every recorded edge result.
+    kill_reasons: dict[str, int] = field(default_factory=dict)
 
     def record(self, result: EdgeResult) -> None:
         if result.refuted:
@@ -59,3 +65,5 @@ class SearchStats:
             self.edges_timeout += 1
         self.path_programs += result.path_programs
         self.seconds += result.seconds
+        for reason, n in result.kill_reasons.items():
+            self.kill_reasons[reason] = self.kill_reasons.get(reason, 0) + n

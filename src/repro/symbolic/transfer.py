@@ -50,6 +50,9 @@ class TransferContext:
     #: the executor uses it for FULLY_EXPLICIT region splitting.
     new_refs: list[SymVar] = field(default_factory=list)
     refutations: dict[str, int] = field(default_factory=dict)
+    #: Raw reason string of the most recent refutation, so the journal can
+    #: classify a kill after the transfer that caused it has returned.
+    last_reason: Optional[str] = None
     _site_locs: Optional[dict] = None
 
     @property
@@ -60,6 +63,7 @@ class TransferContext:
         self.new_refs = []
 
     def count_refutation(self, reason: str) -> None:
+        self.last_reason = reason
         kind = reason.split(":")[0]
         self.refutations[kind] = self.refutations.get(kind, 0) + 1
 

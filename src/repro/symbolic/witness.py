@@ -33,17 +33,22 @@ def witness_steps(program: IRProgram, trace: list[int]) -> list[WitnessStep]:
     return steps
 
 
-def render_witness(program: IRProgram, result: EdgeResult) -> str:
-    """A printable path program witness for a witnessed edge."""
-    header = f"witness for {result.edge} [{result.status}]"
-    if not result.witness_trace:
+def render_trace(program: IRProgram, trace: list[int], header: str) -> str:
+    """A printable source-anchored listing of one label trace."""
+    if not trace:
         return header + "\n  (no trace recorded)"
     lines = [header]
     last_method = None
-    for step in witness_steps(program, result.witness_trace):
+    for step in witness_steps(program, trace):
         if step.method != last_method:
             lines.append(f"  in {step.method}:")
             last_method = step.method
         where = f"L{step.line}" if step.line else f"#{step.label}"
         lines.append(f"    {where}: {step.text}")
     return "\n".join(lines)
+
+
+def render_witness(program: IRProgram, result: EdgeResult) -> str:
+    """A printable path program witness for a witnessed edge."""
+    header = f"witness for {result.edge} [{result.status}]"
+    return render_trace(program, result.witness_trace or [], header)
