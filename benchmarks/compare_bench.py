@@ -1,0 +1,165 @@
+"""Compare a fresh BENCH_refute.json against the committed baseline.
+
+CI regenerates the scaling-ablation payload in smoke mode and hands it to
+this script together with ``benchmarks/baselines/BENCH_refute_smoke.json``.
+The job fails when any config regresses by more than the tolerance on
+either guarded axis:
+
+* **wall-clock** — per-config ``wall_seconds`` (with a small absolute
+  grace so sub-second timer noise on shared CI runners cannot fail the
+  build on its own);
+* **solver calls** — per-config ``solver_calls``, the count of *actual*
+  decision-procedure runs. This one is deterministic for a fixed
+  workload, so any growth is a real change in caching behavior, not
+  noise.
+
+Configs present in only one of the two files are reported (a renamed or
+added config should update the baseline in the same PR) but only missing
+*baseline coverage of a fresh config* is fatal when ``--strict-configs``
+is set; by default the comparison covers the intersection.
+
+Usage::
+
+    python benchmarks/compare_bench.py \
+        --fresh benchmarks/out/BENCH_refute.json \
+        --baseline benchmarks/baselines/BENCH_refute_smoke.json \
+        --output benchmarks/out/BENCH_compare.json
+
+Exit code 0 when every config is within tolerance, 1 on regression,
+2 on malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: A config fails when it exceeds baseline * (1 + TOLERANCE) on a guarded
+#: axis. 20% is wide enough for runner-to-runner CPU variance and narrow
+#: enough to catch a lost cache tier (those show up as 2-10x).
+TOLERANCE = 0.20
+
+#: Absolute wall-clock grace (seconds). Smoke-mode configs finish in a few
+#: seconds; without a floor, a 0.4s run that jitters to 0.5s would "regress
+#: 25%" on scheduler noise alone.
+WALL_GRACE_SECONDS = 0.5
+
+GUARDED = (
+    ("wall_seconds", "wall-clock", WALL_GRACE_SECONDS),
+    ("solver_calls", "solver calls", 0.0),
+)
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as exc:
+        sys.exit(f"error: cannot read {path}: {exc}")
+    if "configs" not in payload:
+        sys.exit(f"error: {path} has no 'configs' section")
+    return payload
+
+
+def compare(fresh: dict, baseline: dict, strict_configs: bool = False) -> dict:
+    fresh_cfgs, base_cfgs = fresh["configs"], baseline["configs"]
+    shared = sorted(set(fresh_cfgs) & set(base_cfgs))
+    only_fresh = sorted(set(fresh_cfgs) - set(base_cfgs))
+    only_base = sorted(set(base_cfgs) - set(fresh_cfgs))
+
+    rows = []
+    failures = []
+    for name in shared:
+        f_cfg, b_cfg = fresh_cfgs[name], base_cfgs[name]
+        row = {"config": name}
+        for key, label, grace in GUARDED:
+            f_val, b_val = f_cfg.get(key), b_cfg.get(key)
+            if f_val is None or b_val is None:
+                continue
+            limit = b_val * (1.0 + TOLERANCE) + grace
+            ratio = f_val / b_val if b_val else float("inf") if f_val else 1.0
+            regressed = f_val > limit
+            row[key] = {
+                "fresh": f_val,
+                "baseline": b_val,
+                "ratio": round(ratio, 3),
+                "limit": round(limit, 4),
+                "regressed": regressed,
+            }
+            if regressed:
+                failures.append(
+                    f"{name}: {label} regressed {ratio:.2f}x"
+                    f" ({b_val} -> {f_val}, limit {limit:.4g})"
+                )
+        rows.append(row)
+
+    if strict_configs and only_fresh:
+        failures.append(
+            "configs missing from baseline (refresh"
+            f" benchmarks/baselines/): {', '.join(only_fresh)}"
+        )
+
+    return {
+        "tolerance": TOLERANCE,
+        "wall_grace_seconds": WALL_GRACE_SECONDS,
+        "compared_configs": shared,
+        "only_in_fresh": only_fresh,
+        "only_in_baseline": only_base,
+        "rows": rows,
+        "failures": failures,
+        "ok": not failures,
+    }
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", required=True, help="freshly generated payload")
+    parser.add_argument("--baseline", required=True, help="committed baseline")
+    parser.add_argument(
+        "--output", help="write the structured comparison as JSON here"
+    )
+    parser.add_argument(
+        "--strict-configs",
+        action="store_true",
+        help="fail when a fresh config has no baseline entry",
+    )
+    args = parser.parse_args(argv)
+
+    fresh, baseline = load(args.fresh), load(args.baseline)
+    result = compare(fresh, baseline, strict_configs=args.strict_configs)
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    print(f"bench comparison: {len(result['compared_configs'])} configs,"
+          f" tolerance {TOLERANCE:.0%} (+{WALL_GRACE_SECONDS}s wall grace)")
+    for row in result["rows"]:
+        parts = []
+        for key, label, _grace in GUARDED:
+            cell = row.get(key)
+            if cell:
+                mark = "REGRESSED" if cell["regressed"] else "ok"
+                parts.append(
+                    f"{label} {cell['baseline']} -> {cell['fresh']}"
+                    f" ({cell['ratio']:.2f}x, {mark})"
+                )
+        print(f"  {row['config']}: " + "; ".join(parts))
+    for name in result["only_in_fresh"]:
+        print(f"  {name}: no baseline entry (skipped)")
+    for name in result["only_in_baseline"]:
+        print(f"  {name}: baseline-only (config removed?)")
+
+    if result["failures"]:
+        print("\nFAIL:", file=sys.stderr)
+        for failure in result["failures"]:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("ok: no regression beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

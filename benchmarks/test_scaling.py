@@ -17,7 +17,13 @@ import time
 import pytest
 
 from repro.android.leaks import LeakChecker
-from repro.bench.workloads import branchy_app, chain_app, container_app
+from repro.bench.workloads import (
+    branchy_app,
+    chain_app,
+    container_app,
+    entailed_app,
+    lattice_app,
+)
 from repro.obs import metrics
 from repro.perf.memo import SOLVER_MEMO
 from repro.symbolic import SearchConfig
@@ -116,9 +122,14 @@ def test_parallel_driver_scaling(benchmark, tables, jobs):
 _ABLATION_METRICS = (
     "solver.checks",
     "solver.entails",
+    "executor.entails_calls",
     "executor.states_explored",
     "solver.memo_hits",
     "solver.memo_misses",
+    "solver.context_hits",
+    "solver.component_memo_hits",
+    "solver.component_memo_misses",
+    "solver.fastpath_unsat",
     "executor.refuted_cache_hits",
     "executor.refuted_cache_misses",
     "executor.worklist_subsumed",
@@ -150,12 +161,26 @@ def _ablation_run(source: str, name: str, budget: int, **toggles) -> dict:
     delta = {k: v - before[k] for k, v in _registry_snapshot().items()}
     return {
         "wall_seconds": round(wall, 4),
+        # solver.checks counts *actual* decision-procedure runs (whole
+        # queries on the monolithic path, components on the partitioned
+        # path); every cache tier answers without incrementing it.
         "solver_calls": delta["solver.checks"],
-        "entails_calls": delta["solver.entails"],
+        # Structural query-entailment checks (worklist subsumption +
+        # refuted-state cache), not the dead solver.entails atom check.
+        "entails_calls": delta["executor.entails_calls"],
         "states_explored": delta["executor.states_explored"],
         "memo_hit_rate": round(
             _rate(delta["solver.memo_hits"], delta["solver.memo_misses"]), 4
         ),
+        "component_memo_hit_rate": round(
+            _rate(
+                delta["solver.component_memo_hits"],
+                delta["solver.component_memo_misses"],
+            ),
+            4,
+        ),
+        "context_hits": delta["solver.context_hits"],
+        "fastpath_unsat": delta["solver.fastpath_unsat"],
         "refuted_cache_hit_rate": round(
             _rate(
                 delta["executor.refuted_cache_hits"],
@@ -179,14 +204,35 @@ def test_memoization_ablation_emits_bench_refute():
     The acceptance bar for the repro.perf layer: caches-on must need at
     most half the solver calls of ``--no-memo --no-subsumption``."""
     branches, budget = (8, 20_000) if SMOKE else (12, 40_000)
-    source = branchy_app(branches, leaky=False)
+    lattice = branches // 2 + 1
+    # The largest workload: the branchy path-enumeration stress, the
+    # entailed-siblings app whose redundant disjunctive guards make the
+    # worklist-subsumption pruner demonstrably fire, and the two-counter
+    # lattice whose product-shaped path constraints are where relevance
+    # partitioning collapses the verdict key space.
+    source = (
+        branchy_app(branches, leaky=False)
+        + entailed_app(branches)
+        + lattice_app(lattice)
+    )
     name = f"ablation-branchy{branches}"
 
     grid = {
-        "cached": dict(memoize_solver=True, state_subsumption=True),
-        "memo_only": dict(memoize_solver=True, state_subsumption=False),
-        "subsumption_only": dict(memoize_solver=False, state_subsumption=True),
-        "no_caches": dict(memoize_solver=False, state_subsumption=False),
+        "cached": dict(
+            memoize_solver=True, state_subsumption=True, partition_solver=False
+        ),
+        "memo_only": dict(
+            memoize_solver=True, state_subsumption=False, partition_solver=False
+        ),
+        "subsumption_only": dict(
+            memoize_solver=False, state_subsumption=True, partition_solver=False
+        ),
+        "no_caches": dict(
+            memoize_solver=False, state_subsumption=False, partition_solver=False
+        ),
+        "partitioned": dict(
+            memoize_solver=True, state_subsumption=True, partition_solver=True
+        ),
     }
     results = {
         label: _ablation_run(source, f"{name}-{label}", budget, **toggles)
@@ -194,6 +240,7 @@ def test_memoization_ablation_emits_bench_refute():
     }
 
     cached, baseline = results["cached"], results["no_caches"]
+    partitioned = results["partitioned"]
     # Verdict parity across the whole grid (the caches prune work, never
     # change answers).
     assert len({(r["alarms"], r["refuted"]) for r in results.values()}) == 1
@@ -204,23 +251,47 @@ def test_memoization_ablation_emits_bench_refute():
         f" {reduction:.2f}x ({baseline['solver_calls']} ->"
         f" {cached['solver_calls']})"
     )
+    # Relevance partitioning: at least 2x fewer actual decision-procedure
+    # runs than whole-query caching alone.
+    partition_reduction = cached["solver_calls"] / max(1, partitioned["solver_calls"])
+    partition_speedup = cached["wall_seconds"] / max(
+        1e-9, partitioned["wall_seconds"]
+    )
+    assert partition_reduction >= 2.0, (
+        f"partitioning must at least halve actual decisions vs cached, got"
+        f" {partition_reduction:.2f}x ({cached['solver_calls']} ->"
+        f" {partitioned['solver_calls']})"
+    )
+    # The entailed-siblings workload makes subsumption observable: the
+    # subsumption_only config must show the pruner actually running.
+    subs = results["subsumption_only"]
+    assert subs["entails_calls"] > 0, "subsumption ran no entailment checks"
+    assert subs["worklist_subsumed"] > 0, "worklist subsumption never fired"
     if not SMOKE:
         # The full-size run is seconds long, so the wall-clock win is well
         # above timer noise; smoke mode only records it.
         assert speedup > 1.0, f"no wall-clock win: {speedup:.2f}x"
+        assert partition_speedup >= 1.3, (
+            f"partitioning wall-clock win below bar: {partition_speedup:.2f}x"
+        )
 
     os.makedirs(OUT_DIR, exist_ok=True)
     payload = {
         "benchmark": "scaling_ablation",
-        "workload": f"branchy_app({branches}, leaky=False)",
+        "workload": (
+            f"branchy_app({branches}, leaky=False) + entailed_app({branches})"
+            f" + lattice_app({lattice})"
+        ),
         "path_budget": budget,
         "smoke": SMOKE,
         "configs": results,
         "summary": {
             "solver_call_reduction": round(reduction, 2),
             "wall_clock_speedup": round(speedup, 2),
+            "partition_decision_reduction": round(partition_reduction, 2),
+            "partition_wall_speedup": round(partition_speedup, 2),
         },
-        "schema_version": 1,
+        "schema_version": 2,
     }
     targets = [os.path.join(OUT_DIR, "BENCH_refute.json")]
     if not SMOKE:

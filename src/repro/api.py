@@ -69,9 +69,11 @@ class AnalysisRequest:
     deadline: Optional[float] = None
     budget: Optional[int] = None  # path_budget override
     #: Cache toggles (repro.perf): ``None`` keeps the config's value,
-    #: ``False`` ablates the layer (CLI --no-memo / --no-subsumption).
+    #: ``False`` ablates the layer (CLI --no-memo / --no-subsumption /
+    #: --no-partition).
     memoize: Optional[bool] = None
     subsumption: Optional[bool] = None
+    partition: Optional[bool] = None
     #: Worker pool flavor for ``jobs > 1``: "thread" (default) or "process".
     backend: Optional[str] = None
     #: Record a per-query search journal for the run and attach it to the
@@ -115,6 +117,8 @@ def _resolve_config(request: AnalysisRequest) -> SearchConfig:
         config = config.copy(memoize_solver=request.memoize)
     if request.subsumption is not None:
         config = config.copy(state_subsumption=request.subsumption)
+    if request.partition is not None:
+        config = config.copy(partition_solver=request.partition)
     return config
 
 

@@ -97,6 +97,69 @@ class Sink {{
 """
 
 
+def entailed_app(branches: int) -> str:
+    """An app with ``branches`` nondeterministic branches feeding a
+    *redundant* disjunctive leak guard: each backwards assume split turns
+    ``(x > B && x > 1) || x > B`` into same-continuation sibling states
+    where the first disjunct structurally entails the second — the shape
+    the worklist-subsumption pruner (``Engine._prune_batch``) exists for
+    (the dominated sibling must precede its weaker mate in the successor
+    batch), so ``worklist_subsumed``/``entails_calls`` demonstrably fire.
+    The bound ``B = 3*branches`` is unreachable (each branch adds at most
+    2), so the store is refutable and the search explores every path."""
+    bound = 3 * branches
+    lines = ["        int x = 0;"]
+    for _ in range(branches):
+        lines.append("        if (nondet()) { x = x + 1; } else { x = x + 2; }")
+    lines.append(
+        f"        if ((x > {bound} && x > 1) || x > {bound})"
+        " { Keep.hold = this; }"
+    )
+    body = "\n".join(lines)
+    return f"""
+class EntailActivity extends Activity {{
+    void onCreate() {{
+{body}
+    }}
+}}
+class Keep {{
+    static Activity hold;
+}}
+"""
+
+
+def lattice_app(branches: int) -> str:
+    """An app interleaving ``branches`` nondeterministic updates to *each*
+    of two independent counters before a conjunctive leak guard over both.
+
+    The backwards path constraints are a product lattice: every path is an
+    (x-history, y-history) pair, so a whole-query cache sees O(N^2)
+    distinct atom sets while relevance partitioning sees two variable-
+    disjoint components with only O(N) distinct fragments each — the shape
+    where per-component verdict caching collapses the key space. The bound
+    ``3*branches`` is unreachable (each update adds at most 2), so every
+    alarm is refutable and the search explores the full product."""
+    bound = 3 * branches
+    lines = ["        int x = 0;", "        int y = 0;"]
+    for _ in range(branches):
+        lines.append("        if (nondet()) { x = x + 1; } else { x = x + 2; }")
+        lines.append("        if (nondet()) { y = y + 1; } else { y = y + 2; }")
+    lines.append(
+        f"        if (x > {bound} && y > {bound}) {{ Grid.hold = this; }}"
+    )
+    body = "\n".join(lines)
+    return f"""
+class LatticeActivity extends Activity {{
+    void onCreate() {{
+{body}
+    }}
+}}
+class Grid {{
+    static Activity hold;
+}}
+"""
+
+
 def container_app(n_activities: int) -> str:
     """``n`` activities each pushing themselves into local Vecs — the
     Figure 1 pattern replicated, stressing the null-object refutations."""

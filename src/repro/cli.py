@@ -28,10 +28,12 @@ share the parallel-driver flags:
     Write the structured per-edge run report (JSON) to PATH.
 ``--progress``
     Stream per-edge progress lines to stderr as jobs finish.
-``--no-memo`` / ``--no-subsumption``
+``--no-memo`` / ``--no-subsumption`` / ``--no-partition``
     Ablation switches for the :mod:`repro.perf` caches: disable solver
-    verdict memoization, or the refuted-state cache plus worklist
-    subsumption, respectively (see ``docs/performance.md``).
+    verdict memoization, the refuted-state cache plus worklist
+    subsumption, or relevance-partitioned incremental solving
+    (restoring the monolithic decision-procedure path), respectively
+    (see ``docs/performance.md``).
 ``--backend {thread,process}``
     Worker pool flavor for ``--jobs N > 1`` (default thread). The process
     backend ships per-worker metrics/span/journal payloads back to the
@@ -120,6 +122,14 @@ def _add_driver_flags(parser: argparse.ArgumentParser) -> None:
         help="disable the refuted-state cache and worklist subsumption (ablation)",
     )
     parser.add_argument(
+        "--no-partition",
+        action="store_true",
+        help=(
+            "disable relevance-partitioned incremental solving and use the"
+            " monolithic decision procedure (ablation)"
+        ),
+    )
+    parser.add_argument(
         "--backend",
         choices=["thread", "process"],
         default=None,
@@ -140,6 +150,7 @@ def _search_config(args, **overrides):
     return SearchConfig(
         memoize_solver=not getattr(args, "no_memo", False),
         state_subsumption=not getattr(args, "no_subsumption", False),
+        partition_solver=not getattr(args, "no_partition", False),
         **overrides,
     )
 
@@ -462,6 +473,7 @@ def _cmd_explain(args) -> int:
             kills = sum(record.kill_reasons.values())
             extra = f", {kills} dead branch(es)" if kills else ""
             print(f"{record.status:9s} {record.description}{extra}")
+        _print_cache_tiers(report.cache)
         return 0
     record = _pick_record(report, args.edge, args.status)
     if record is None:
@@ -503,6 +515,23 @@ def _cmd_explain(args) -> int:
             fh.write(provenance.to_dot(searches, title=record.description))
             fh.write("\n")
     return 0
+
+
+def _print_cache_tiers(cache: dict) -> None:
+    """Per-tier cache efficacy, from the run report's ``cache`` section:
+    how many solver questions each tier answered without running the
+    decision procedure, against the decisions that actually ran."""
+    if not cache:
+        return
+    tiers = cache.get("tiers")
+    if not tiers:
+        return
+    print("cache tiers (answered without deciding):")
+    print(f"  solver context hits    {tiers.get('context_hits', 0):>8}")
+    print(f"  component memo hits    {tiers.get('component_memo_hits', 0):>8}")
+    print(f"  whole-query memo hits  {tiers.get('whole_query_memo_hits', 0):>8}")
+    print(f"  syntactic UNSAT        {tiers.get('fastpath_unsat', 0):>8}")
+    print(f"  decisions actually run {tiers.get('decisions', 0):>8}")
 
 
 def _pick_record(report, edge: str | None, status: str | None):

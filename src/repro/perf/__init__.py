@@ -4,10 +4,14 @@ Thresher's value proposition is pruning infeasible paths early; this
 package makes the pruning itself cheap by never paying for the same work
 twice:
 
-* :mod:`repro.perf.memo` — an LRU-bounded memo table in front of the
+* :mod:`repro.perf.memo` — LRU-bounded memo tables in front of the
   decision procedure: ``check_sat``/``entails`` verdicts keyed on the
   canonical frozen constraint set (terms are hash-consed by
-  :mod:`repro.solver.terms`, so key construction is cheap);
+  :mod:`repro.solver.terms`, so key construction is cheap), plus the
+  per-component verdict table of the relevance-partitioned solver path
+  (:mod:`repro.solver.partition`), where verdicts are cached per
+  variable-connected constraint fragment and additionally reused from
+  parent states via per-lineage solver contexts;
 * :mod:`repro.perf.cache` — a lock-striped **refuted-state cache** shared
   across refutation jobs: once a whole search completes REFUTED, every
   query it recorded at loop heads and procedure boundaries is a proven
@@ -17,17 +21,17 @@ twice:
 
 Every layer reports hit/miss counters into :mod:`repro.obs.metrics`
 (``--metrics``) and the aggregate :func:`cache_report` is rolled into the
-driver's JSON run report. Both layers are toggleable (``--no-memo``,
-``--no-subsumption`` / ``SearchConfig.memoize_solver`` /
-``SearchConfig.state_subsumption``) so ablation benchmarks can quantify
-each one.
+driver's JSON run report. Every layer is toggleable (``--no-memo``,
+``--no-subsumption``, ``--no-partition`` / ``SearchConfig.memoize_solver``
+/ ``SearchConfig.state_subsumption`` / ``SearchConfig.partition_solver``)
+so ablation benchmarks can quantify each one.
 """
 
 from __future__ import annotations
 
 from ..obs import metrics
 from .cache import RefutedStateCache
-from .memo import SOLVER_MEMO, LRUCache, SolverMemo
+from .memo import SOLVER_MEMO, SOLVER_PARTITION, LRUCache, SolverMemo, SolverPartition
 
 #: Counters that describe cache behavior; snapshotted per process so the
 #: driver can merge process-pool workers' tallies into one report.
@@ -39,9 +43,15 @@ CACHE_METRIC_NAMES = (
     "solver.memo_misses",
     "solver.entails_memo_hits",
     "solver.entails_memo_misses",
+    "solver.partitions",
+    "solver.context_hits",
+    "solver.component_memo_hits",
+    "solver.component_memo_misses",
+    "solver.fastpath_unsat",
     "executor.refuted_cache_hits",
     "executor.refuted_cache_misses",
     "executor.worklist_subsumed",
+    "executor.entails_calls",
     "executor.states_explored",
     "pointsto.noop_pops_skipped",
     "pointsto.delta_propagated",
@@ -111,6 +121,19 @@ def cache_report(extra_snapshots: list | None = None) -> dict:
                 merged.get("executor.refuted_cache_misses", 0),
             ),
         },
+        "component_memo": {
+            "hits": merged.get("solver.component_memo_hits", 0),
+            "misses": merged.get("solver.component_memo_misses", 0),
+            "hit_rate": _rate(
+                merged.get("solver.component_memo_hits", 0),
+                merged.get("solver.component_memo_misses", 0),
+            ),
+        },
+        "solver_context": {
+            "hits": merged.get("solver.context_hits", 0),
+            "partitioned_queries": merged.get("solver.partitions", 0),
+            "fastpath_unsat": merged.get("solver.fastpath_unsat", 0),
+        },
         "term_intern": {
             "hits": merged.get("solver.intern_hits", 0),
             "misses": merged.get("solver.intern_misses", 0),
@@ -120,12 +143,23 @@ def cache_report(extra_snapshots: list | None = None) -> dict:
             ),
         },
         "worklist_subsumed": merged.get("executor.worklist_subsumed", 0),
+        # Per-tier efficacy: how each answered-without-deciding tier
+        # contributed, against the decisions that actually ran.
+        "tiers": {
+            "context_hits": merged.get("solver.context_hits", 0),
+            "component_memo_hits": merged.get("solver.component_memo_hits", 0),
+            "whole_query_memo_hits": merged.get("solver.memo_hits", 0),
+            "fastpath_unsat": merged.get("solver.fastpath_unsat", 0),
+            "decisions": merged.get("solver.checks", 0),
+        },
     }
 
 
 __all__ = [
     "SOLVER_MEMO",
+    "SOLVER_PARTITION",
     "SolverMemo",
+    "SolverPartition",
     "LRUCache",
     "RefutedStateCache",
     "CACHE_METRIC_NAMES",

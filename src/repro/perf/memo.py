@@ -65,20 +65,27 @@ class LRUCache:
 
 
 class SolverMemo:
-    """The solver front-end's pair of memo tables (+ master switch).
+    """The solver front-end's memo tables (+ master switch).
 
     ``enabled`` is process-wide: the :class:`~repro.symbolic.executor.Engine`
     sets it from ``SearchConfig.memoize_solver`` at construction, and the
     process-pool initializer replays the same config in workers, so one
     flag consistently governs a whole run.
+
+    ``check`` keys whole-query verdicts (the monolithic solver path);
+    ``component`` keys per-component verdicts (the relevance-partitioned
+    path of :mod:`repro.solver.partition`, where the key space collapses
+    from "every distinct path constraint" to "every distinct constraint
+    fragment"); ``entailment`` keys :func:`repro.solver.core.entails`.
     """
 
-    __slots__ = ("enabled", "check", "entailment")
+    __slots__ = ("enabled", "check", "entailment", "component")
 
     def __init__(self, capacity: int = MEMO_CAPACITY) -> None:
         self.enabled = True
         self.check = LRUCache(capacity)
         self.entailment = LRUCache(capacity)
+        self.component = LRUCache(capacity)
 
     def set_enabled(self, enabled: bool) -> None:
         self.enabled = bool(enabled)
@@ -86,8 +93,31 @@ class SolverMemo:
     def clear(self) -> None:
         self.check.clear()
         self.entailment.clear()
+        self.component.clear()
 
 
 #: Process-wide instance consulted by :func:`repro.solver.core.check_sat`
 #: and :func:`repro.solver.core.entails`.
 SOLVER_MEMO = SolverMemo()
+
+
+class SolverPartition:
+    """Process-wide switch for relevance-partitioned incremental solving
+    (:mod:`repro.solver.partition`): component decomposition, per-component
+    verdict caching, parent-reuse solver contexts, and the syntactic UNSAT
+    fast path. Governed by ``SearchConfig.partition_solver`` (CLI
+    ``--no-partition``) exactly like :data:`SOLVER_MEMO`; disabling it
+    restores the monolithic pre-partitioning solver path bit-for-bit.
+    """
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+    def set_enabled(self, enabled: bool) -> None:
+        self.enabled = bool(enabled)
+
+
+#: Process-wide instance consulted by :func:`repro.solver.core.check_sat`.
+SOLVER_PARTITION = SolverPartition()

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from ..obs import metrics, provenance, trace
+from . import partition
 from .terms import NULL, Atom, LinAtom, LinExpr, RefAtom, Var, _NullConst, tighten
 from .unionfind import UnionFind
 
@@ -45,6 +46,16 @@ _MEMO_HITS = metrics.counter("solver.memo_hits")
 _MEMO_MISSES = metrics.counter("solver.memo_misses")
 _ENTAILS_MEMO_HITS = metrics.counter("solver.entails_memo_hits")
 _ENTAILS_MEMO_MISSES = metrics.counter("solver.entails_memo_misses")
+# Relevance-partitioned path (repro.solver.partition): queries partitioned,
+# components per query, atoms per component, and the three ways a component
+# can be answered without an actual decision-procedure run.
+_PARTITIONS = metrics.counter("solver.partitions")
+_COMPONENTS = metrics.histogram("solver.components")
+_COMPONENT_SIZE = metrics.histogram("solver.component_size")
+_CONTEXT_HITS = metrics.counter("solver.context_hits")
+_COMPONENT_HITS = metrics.counter("solver.component_memo_hits")
+_COMPONENT_MISSES = metrics.counter("solver.component_memo_misses")
+_FASTPATH_UNSAT = metrics.counter("solver.fastpath_unsat")
 
 
 class SolverStats:
@@ -55,7 +66,9 @@ class SolverStats:
     verdicts* — they are memoization-invariant, so per-search accounting
     (and tests pinning exact counts) reads the same with caches on or off.
     ``memo_hits``/``memo_misses`` say how many of those queries were
-    answered from the memo table vs. actually decided.
+    answered from the memo table vs. actually decided; on the partitioned
+    path ``context_hits``/``component_hits`` count components answered
+    from the per-state solver context and the per-component memo table.
     """
 
     def __init__(self) -> None:
@@ -65,12 +78,16 @@ class SolverStats:
         self.entails = 0
         self.memo_hits = 0
         self.memo_misses = 0
+        self.context_hits = 0
+        self.component_hits = 0
 
     def __repr__(self) -> str:
         return (
             f"SolverStats(checks={self.checks}, unsat={self.unsat},"
             f" giveups={self.fm_giveups}, entails={self.entails},"
-            f" memo_hits={self.memo_hits}, memo_misses={self.memo_misses})"
+            f" memo_hits={self.memo_hits}, memo_misses={self.memo_misses},"
+            f" context_hits={self.context_hits},"
+            f" component_hits={self.component_hits})"
         )
 
 
@@ -81,6 +98,7 @@ def check_sat(
     atoms: Iterable[Atom],
     nonnull: Optional[frozenset[Var]] = None,
     stats: Optional[SolverStats] = None,
+    context: Optional[partition.SolverContext] = None,
 ) -> bool:
     """True if the conjunction may be satisfiable, False if definitely not.
 
@@ -88,16 +106,33 @@ def check_sat(
     (e.g. instances that appear as the source of an exact points-to
     constraint); equating one of those with NULL is a contradiction.
 
-    Verdicts are memoized on the canonical frozen atom set (terms are
-    hash-consed, so the key is cheap); the memo is a pure-function cache
-    with no invalidation, toggled via :data:`repro.perf.SOLVER_MEMO`.
+    Two interchangeable strategies, selected by
+    :data:`repro.perf.SOLVER_PARTITION`:
+
+    * **monolithic** (``--no-partition``): decide the whole conjunction
+      in one union-find + Fourier–Motzkin run, memoizing the verdict on
+      the canonical frozen atom set (terms are hash-consed, so the key is
+      cheap); the memo is a pure-function cache with no invalidation,
+      toggled via :data:`repro.perf.SOLVER_MEMO`;
+    * **relevance-partitioned** (the default): screen for syntactic
+      contradictions, split the conjunction into connected components
+      over shared variables, and decide each component independently —
+      answering from the caller's ``context``
+      (:class:`repro.solver.partition.SolverContext`, carried on the
+      query and shared parent→child) or the per-component memo table
+      whenever the fragment was already decided. UNSAT in any component
+      is UNSAT overall; SAT in every component is SAT overall (the
+      components share no variables, so models compose).
     """
-    from ..perf.memo import SOLVER_MEMO
+    from ..perf.memo import SOLVER_MEMO, SOLVER_PARTITION
 
     stats = stats or GLOBAL_STATS
     stats.checks += 1
     atoms = list(atoms)
     nonnull = nonnull or frozenset()
+
+    if SOLVER_PARTITION.enabled:
+        return _check_sat_partitioned(atoms, nonnull, stats, context)
 
     memo_key = None
     if SOLVER_MEMO.enabled:
@@ -133,6 +168,117 @@ def check_sat(
     if memo_key is not None:
         SOLVER_MEMO.check.put(memo_key, result)
     return result
+
+
+def _check_sat_partitioned(
+    atoms: list[Atom],
+    nonnull: frozenset[Var],
+    stats: SolverStats,
+    context: Optional[partition.SolverContext],
+) -> bool:
+    """Relevance-partitioned ``check_sat``: screen, split, decide per
+    component, answering from ``context`` / the component memo when the
+    fragment is already known. See :mod:`repro.solver.partition` for the
+    soundness argument."""
+    from ..perf.memo import SOLVER_MEMO
+
+    _PARTITIONS.inc()
+
+    # L1: whole-query memo. The executor re-asks identical conjunctions
+    # constantly (version bumps without atom changes, sibling copies); a
+    # frozenset probe is far cheaper than splitting and canonicalizing.
+    # The leading marker keeps partitioned verdicts apart from monolithic
+    # ones — per-component FM give-ups can differ from whole-query ones.
+    memo_key = None
+    if SOLVER_MEMO.enabled:
+        memo_key = ("part", frozenset(atoms), nonnull)
+        cached = SOLVER_MEMO.check.get(memo_key)
+        if cached is not None:
+            stats.memo_hits += 1
+            _MEMO_HITS.inc()
+            if not cached:
+                stats.unsat += 1
+                if provenance.enabled():
+                    provenance.note_unsat(atoms)
+            return cached
+        stats.memo_misses += 1
+        _MEMO_MISSES.inc()
+
+    bad = partition.syntactic_unsat(atoms, nonnull)
+    if bad is not None:
+        _FASTPATH_UNSAT.inc()
+        stats.unsat += 1
+        _UNSAT.inc()
+        if provenance.enabled():
+            provenance.note_unsat([bad])
+        if memo_key is not None:
+            SOLVER_MEMO.check.put(memo_key, False)
+        return False
+
+    components = partition.split_components(atoms, nonnull)
+    _COMPONENTS.observe(len(components))
+
+    memo_on = SOLVER_MEMO.enabled
+    for catoms, key in components:
+        # Tier 1: the per-lineage context, on cheap nominal keys (copies
+        # share symbolic variables, so unchanged components recur by
+        # name). The canonical signature is only derived below, on a
+        # context miss.
+        verdict: Optional[bool] = None
+        if context is not None:
+            verdict = context.get(key)
+            if verdict is not None:
+                stats.context_hits += 1
+                _CONTEXT_HITS.inc()
+        if verdict is None:
+            # Tier 2: the cross-lineage component memo, on canonical
+            # signatures (alpha-equivalent fragments collapse); tier 3:
+            # decide the original fragment.
+            canon = partition.canonical_key(catoms, key[1]) if memo_on else None
+            if canon is not None:
+                verdict = SOLVER_MEMO.component.get(canon)
+                if verdict is not None:
+                    stats.component_hits += 1
+                    _COMPONENT_HITS.inc()
+                else:
+                    _COMPONENT_MISSES.inc()
+            if verdict is None:
+                verdict = _decide_component(catoms, key[1], stats)
+                if canon is not None:
+                    SOLVER_MEMO.component.put(canon, verdict)
+        if context is not None:
+            context.remember(key, verdict)
+        if not verdict:
+            stats.unsat += 1
+            _UNSAT.inc()
+            if provenance.enabled():
+                provenance.note_unsat(catoms)
+            if memo_key is not None:
+                SOLVER_MEMO.check.put(memo_key, False)
+            return False
+    if memo_key is not None:
+        SOLVER_MEMO.check.put(memo_key, True)
+    return True
+
+
+def _decide_component(
+    catoms: list[Atom], nonnull: frozenset[Var], stats: SolverStats
+) -> bool:
+    """Run the actual decision procedure on one variable-connected
+    component, in the caller's own variable names (the canonical
+    signature is a cache key, never an instance — signatures are built
+    from plain data precisely so no renamed terms are ever interned).
+    Counts toward ``solver.checks`` — the "actual runs" metric the
+    ablation grid compares against memo/context hits."""
+    _CHECKS.inc()
+    _CHECK_ATOMS.observe(len(catoms))
+    _COMPONENT_SIZE.observe(len(catoms))
+    with trace.span("solver.check_sat"):
+        ref_atoms = [a for a in catoms if isinstance(a, RefAtom)]
+        lin_atoms = [a for a in catoms if isinstance(a, LinAtom)]
+        if not _check_refs(ref_atoms, nonnull):
+            return False
+        return _check_linear(lin_atoms, stats)
 
 
 def entails(
@@ -185,10 +331,9 @@ def _check_refs(ref_atoms: list[RefAtom], nonnull: frozenset[Var]) -> bool:
             uf.union(atom.left, atom.right)
     null_root = uf.find(NULL)
     for var in nonnull:
-        if uf.find(var) == null_root and null_root == uf.find(var):
+        if uf.find(var) == null_root:
             # var == NULL forced, but var must be a real object.
-            if uf.find(var) == uf.find(NULL):
-                return False
+            return False
     for atom in ref_atoms:
         if not atom.equal and uf.same(atom.left, atom.right):
             return False

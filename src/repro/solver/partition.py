@@ -1,0 +1,258 @@
+"""Relevance partitioning of pure-constraint queries.
+
+A path state's atom conjunction almost always decomposes into small
+*independent* subproblems: the reference (dis)equalities about one heap
+cell share no variables with the arithmetic chain of a loop counter, and
+neither shares variables with the separation disequalities of an
+unrelated field. Deciding the conjunction monolithically re-pays for
+every fragment whenever *any* fragment changes; deciding it per connected
+component (over shared variables) lets verdicts be cached at the
+granularity at which they actually recur.
+
+Soundness is the easy direction of variable-disjoint conjunction:
+
+* a conjunction of variable-disjoint systems is satisfiable **iff** every
+  system is satisfiable on its own (models compose pointwise, and any
+  model of the whole restricts to a model of each part);
+* UNSAT in any component therefore refutes the whole query, and SAT in
+  every component certifies the whole query;
+* ``nonnull`` facts slice cleanly: a non-null variable can only be forced
+  equal to ``NULL`` through a chain of reference equalities, and every
+  atom of such a chain lives in that variable's component — a non-null
+  variable mentioned by *no* atom can never be contradicted;
+* Fourier–Motzkin give-ups stay per-component and conservative (SAT), so
+  refutation soundness (Theorem 1) is preserved exactly as in the
+  monolithic procedure.
+
+Three pieces live here:
+
+* :func:`syntactic_unsat` — an O(n) screen for atoms contradictory on
+  their own (constant-infeasible linear atoms, ``x != x``, ``v == NULL``
+  for a known-non-null ``v``) that skips union-find and FM entirely;
+* :func:`split_components` — union-find over the atoms' variable sets,
+  producing per-component atom lists plus cheap *nominal* keys (the
+  component's own atoms and sliced non-null facts, untouched), while
+  :func:`canonical_key` derives — lazily, on the cache-miss path only —
+  the plain-data *signature* with variables replaced by first-occurrence
+  indices. Satisfiability is invariant under injective renaming, so the
+  signature fully determines the verdict — and it is what makes the key
+  space collapse: the executor mints globally fresh symbolic variables
+  per path and per search, so nominal keys never recur across searches,
+  while signatures recur for every structurally identical fragment
+  across sibling paths and across searches;
+* :class:`SolverContext` — the per-path-state verdict map carried on
+  :class:`~repro.symbolic.query.Query`. A child state created by one
+  transfer shares its parent's context; components untouched by the new
+  atoms have unchanged keys and are answered from the context without
+  even a memo-table lookup. Because a component key fully determines the
+  verdict, the map holds only pure facts — sharing it *by reference*
+  between siblings is the degenerate (and cheapest) safe form of
+  copy-on-write.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .terms import Atom, LinAtom, Var, _NullConst
+
+#: A component's *nominal* identity: ``(frozenset of atoms, frozenset of
+#: relevant non-null vars)`` in the caller's own variable names. Cheap to
+#: build (no new terms) and exact within one search lineage, where copies
+#: share symbolic variables — the :class:`SolverContext` key.
+ComponentKey = tuple
+
+#: A component's *canonical* identity: a plain-data signature of the
+#: atoms with variables replaced by first-occurrence indices — an
+#: injective renaming, under which satisfiability is invariant. This is
+#: the cross-lineage memo key: the executor mints globally fresh symbolic
+#: variables per path and per search, so nominal keys never recur across
+#: searches, while signatures recur for every structurally identical
+#: fragment. Deliberately NOT built from term objects: signatures are
+#: nested tuples of ints and strings, so they hash and compare at C
+#: speed and — crucially — never touch the hash-cons intern table
+#: (term-valued canonical keys flood it with renamed atoms, and its
+#: overflow clears destroy the identity fast path for *every* atom
+#: comparison in the process).
+CanonicalKey = tuple
+
+#: Signature slot for a NULL operand (variables use indices ``0, 1, ...``;
+#: ``-2`` can never appear in a slot, so the CPython ``hash(-1) ==
+#: hash(-2)`` aliasing below cannot bite here).
+_NULL_SLOT = -1
+
+
+def _zig(n: int) -> int:
+    """Zigzag-encode an integer to a non-negative one.
+
+    CPython reserves ``-1`` as the C-level hash error sentinel, so
+    ``hash(-1) == hash(-2)`` — and constants/coefficients of ``-1`` and
+    ``-2`` are ubiquitous in backwards increment chains (``x = x + 1`` /
+    ``x = x + 2`` become equation atoms with those constants). Left raw,
+    whole families of signatures differing only in such a slot share one
+    hash and dict probes degenerate into long equality chains. Small
+    non-negative ints hash to themselves, all distinct."""
+    return n + n if n >= 0 else -n - n - 1
+
+#: Context size cap; reaching it clears the map (cheap, rare — only very
+#: long-lived lineages accumulate this many distinct components).
+CONTEXT_CAP = 2048
+
+
+def syntactic_unsat(
+    atoms: Iterable[Atom], nonnull: frozenset
+) -> Optional[Atom]:
+    """Return an atom that is contradictory *on its own* (or against a
+    ``nonnull`` fact), or ``None`` when the screen finds nothing.
+
+    Catches the ground refutations the backwards executor produces
+    constantly — a guard that folded to ``false``, ``v == NULL`` for an
+    instance that must be a real object, ``x != x`` after unification —
+    without building a union-find or running any elimination.
+    """
+    for atom in atoms:
+        if isinstance(atom, LinAtom):
+            expr = atom.expr
+            if expr.is_constant:
+                k = expr.const
+                if atom.op == "<=":
+                    if k > 0:
+                        return atom
+                elif atom.op == "==":
+                    if k != 0:
+                        return atom
+                else:  # "!="
+                    if k == 0:
+                        return atom
+        else:  # RefAtom
+            if atom.equal:
+                if isinstance(atom.left, _NullConst):
+                    if atom.right in nonnull:
+                        return atom
+                elif isinstance(atom.right, _NullConst):
+                    if atom.left in nonnull:
+                        return atom
+            elif atom.left == atom.right:
+                return atom  # x != x (also NULL != NULL)
+    return None
+
+
+def split_components(
+    atoms: list, nonnull: frozenset
+) -> list[tuple[list, ComponentKey]]:
+    """Partition ``atoms`` into connected components over shared
+    variables, slicing ``nonnull`` per component.
+
+    Returns ``(component atoms, nominal component key)`` pairs; the atom
+    lists preserve the input order and everything stays in the caller's
+    own variable names — renaming costs term interning, so the canonical
+    form (:func:`canonical_key`) is derived lazily, only when the cheap
+    nominal tiers miss. Ground atoms (no variables) must have been
+    screened by :func:`syntactic_unsat` first: whatever survives the
+    screen is a tautology and is dropped here.
+    """
+    parent: dict = {}
+
+    def find(v: Var) -> Var:
+        root = v
+        while True:
+            up = parent.get(root, root)
+            if up == root:
+                break
+            root = up
+        while v != root:  # path compression
+            parent[v], v = root, parent[v]
+        return root
+
+    atom_vars: list[tuple[Atom, frozenset]] = []
+    for atom in atoms:
+        avars = atom.vars()
+        atom_vars.append((atom, avars))
+        if not avars:
+            continue
+        it = iter(avars)
+        first = find(next(it))
+        for v in it:
+            parent[find(v)] = first
+
+    groups: dict = {}  # root -> (atom list, var set); insertion-ordered
+    for atom, avars in atom_vars:
+        if not avars:
+            continue  # ground tautology (screened by syntactic_unsat)
+        root = find(next(iter(avars)))
+        entry = groups.get(root)
+        if entry is None:
+            groups[root] = entry = ([], set())
+        entry[0].append(atom)
+        entry[1].update(avars)
+
+    out: list[tuple[list, ComponentKey]] = []
+    for catoms, cvars in groups.values():
+        sliced = frozenset(v for v in nonnull if v in cvars)
+        out.append((catoms, (frozenset(catoms), sliced)))
+    return out
+
+
+def canonical_key(catoms: list, nonnull: frozenset) -> CanonicalKey:
+    """The plain-data signature of one component: ``catoms`` (in order)
+    with variables replaced by first-occurrence indices, plus the sliced
+    ``nonnull`` facts under the same replacement.
+
+    Structurally identical fragments over different fresh variables share
+    the signature, and a cached verdict transfers soundly: the index
+    replacement is injective, and satisfiability is invariant under
+    injective renaming, so the signature fully determines the verdict."""
+    mapping: dict = {}
+    sig = []
+    for atom in catoms:
+        if isinstance(atom, LinAtom):
+            row = [atom.op, _zig(atom.expr.const)]
+            for v, c in atom.expr.coeffs:
+                i = mapping.get(v)
+                if i is None:
+                    i = mapping[v] = len(mapping)
+                row.append((i, _zig(c)))
+            sig.append(tuple(row))
+        else:  # RefAtom
+            row = ["=" if atom.equal else "!"]
+            for side in (atom.left, atom.right):
+                if isinstance(side, _NullConst):
+                    row.append(_NULL_SLOT)
+                else:
+                    i = mapping.get(side)
+                    if i is None:
+                        i = mapping[side] = len(mapping)
+                    row.append(i)
+            sig.append(tuple(row))
+    return (
+        tuple(sig),
+        frozenset(mapping[v] for v in nonnull if v in mapping),
+    )
+
+
+class SolverContext:
+    """Per-path-state component verdict map (parent-reuse solver context).
+
+    Holds ``component key -> verdict`` facts accumulated along one search
+    lineage. Verdicts are pure functions of their keys, so the map is
+    append-only-correct: it is shared by reference between a query and
+    all its copies (parents, children, and siblings), and a stale entry
+    cannot exist. The map is cleared wholesale at :data:`CONTEXT_CAP`
+    entries, which only costs future re-derivation, never correctness.
+    """
+
+    __slots__ = ("verdicts",)
+
+    def __init__(self) -> None:
+        self.verdicts: dict = {}
+
+    def get(self, key: ComponentKey) -> Optional[bool]:
+        return self.verdicts.get(key)
+
+    def remember(self, key: ComponentKey, verdict: bool) -> None:
+        if len(self.verdicts) >= CONTEXT_CAP:
+            self.verdicts.clear()
+        self.verdicts[key] = verdict
+
+    def __len__(self) -> int:
+        return len(self.verdicts)

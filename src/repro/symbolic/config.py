@@ -67,6 +67,12 @@ class SearchConfig:
     #: Cross-search refuted-state cache + entailment-based worklist
     #: subsumption (CLI ``--no-subsumption`` disables).
     state_subsumption: bool = True
+    #: Relevance-partitioned incremental solving: decompose each pure
+    #: conjunction into variable-connected components, cache verdicts per
+    #: component, and reuse parent states' solved components via
+    #: per-lineage solver contexts (CLI ``--no-partition`` restores the
+    #: monolithic solver path). Process-wide like ``memoize_solver``.
+    partition_solver: bool = True
     loop_inference: LoopInference = LoopInference.FULL
     #: Upper bound on disjuncts produced by one array-write case split
     #: before falling back to dropping disaliasing constraints.

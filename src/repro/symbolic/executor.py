@@ -35,7 +35,7 @@ from ..obs import metrics, provenance, trace
 from ..pointsto import ELEMS, PointsToResult
 from ..pointsto.graph import HeapEdge
 from ..perf.cache import RefutedStateCache
-from ..perf.memo import SOLVER_MEMO
+from ..perf.memo import SOLVER_MEMO, SOLVER_PARTITION
 from ..pointsto.modref import ModSet
 from . import loops
 from .config import Representation, SearchConfig
@@ -115,6 +115,7 @@ class Engine:
         # The solver memo is process-wide; the engine's config governs it
         # for the whole run (the driver replays the same config in workers).
         SOLVER_MEMO.set_enabled(self.config.memoize_solver)
+        SOLVER_PARTITION.set_enabled(self.config.partition_solver)
         self.ctx = TransferContext(pta, self.config)
         self.root = root or self.program.entry
         if self.root is None:

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from ..pointsto.graph import AbsLoc
-from ..solver import NULL, Atom, check_sat, ref_eq, ref_ne
+from ..solver import NULL, Atom, SolverContext, check_sat, ref_eq, ref_ne
 
 
 def ref_eq_null(v: SymVar) -> Atom:
@@ -76,6 +76,7 @@ class Query:
         "fail_reason",
         "_sat_version",
         "_sat_result",
+        "solver_ctx",
     )
 
     def __init__(self, current_method: str) -> None:
@@ -96,6 +97,7 @@ class Query:
         self.fail_reason = ""
         self._sat_version = -1
         self._sat_result = True
+        self.solver_ctx: Optional[SolverContext] = None
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -118,6 +120,10 @@ class Query:
         q.fail_reason = self.fail_reason
         q._sat_version = self._sat_version
         q._sat_result = self._sat_result
+        # Shared by reference: the context holds only pure component
+        # verdicts (key fully determines verdict), so parent, children,
+        # and siblings safely reuse one map (see repro.solver.partition).
+        q.solver_ctx = self.solver_ctx
         return q
 
     def touch(self) -> None:
@@ -409,7 +415,16 @@ class Query:
         if self._sat_version == self.version:
             return self._sat_result
         atoms = self.canonical_pure() + self.separation_atoms()
-        ok = check_sat(atoms, nonnull=self.nonnull_roots(), stats=stats)
+        from ..perf.memo import SOLVER_PARTITION
+
+        if SOLVER_PARTITION.enabled and self.solver_ctx is None:
+            self.solver_ctx = SolverContext()
+        ok = check_sat(
+            atoms,
+            nonnull=self.nonnull_roots(),
+            stats=stats,
+            context=self.solver_ctx,
+        )
         self._sat_version = self.version
         self._sat_result = ok
         if not ok:

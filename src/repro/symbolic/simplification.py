@@ -17,13 +17,20 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..obs import metrics
 from ..solver import Atom
 from .query import Query
 from .symvar import SymVar
 
+# Structural query-entailment calls (worklist subsumption, refuted-state
+# cache, query histories). This — not the dead ``solver.entails`` atom-set
+# check — is what the ablation grid's ``entails_calls`` column reports.
+_ENTAILS_CALLS = metrics.counter("executor.entails_calls")
+
 
 def query_entails(strong: Query, weak: Query) -> bool:
     """Conservative check that ``strong ⊨ weak``."""
+    _ENTAILS_CALLS.inc()
     if strong.failed:
         return True
     if weak.failed:

@@ -1,0 +1,108 @@
+"""Unit tests for benchmarks/compare_bench.py (the CI regression guard)."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "..", "benchmarks", "compare_bench.py"
+)
+_spec = importlib.util.spec_from_file_location("compare_bench", _PATH)
+compare_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_bench)
+
+
+def payload(**configs) -> dict:
+    return {"configs": configs, "schema_version": 2}
+
+
+def cfg(wall: float, calls: int) -> dict:
+    return {"wall_seconds": wall, "solver_calls": calls}
+
+
+class TestCompare:
+    def test_identical_payloads_pass(self):
+        base = payload(cached=cfg(2.0, 100), partitioned=cfg(1.0, 40))
+        result = compare_bench.compare(base, base)
+        assert result["ok"]
+        assert result["failures"] == []
+        assert result["compared_configs"] == ["cached", "partitioned"]
+
+    def test_within_tolerance_passes(self):
+        fresh = payload(cached=cfg(2.3, 115))  # +15% on both axes
+        base = payload(cached=cfg(2.0, 100))
+        assert compare_bench.compare(fresh, base)["ok"]
+
+    def test_solver_call_regression_fails(self):
+        fresh = payload(cached=cfg(2.0, 130))  # +30% calls
+        base = payload(cached=cfg(2.0, 100))
+        result = compare_bench.compare(fresh, base)
+        assert not result["ok"]
+        assert any("solver calls" in f for f in result["failures"])
+
+    def test_wall_clock_regression_fails(self):
+        fresh = payload(cached=cfg(40.0, 100))
+        base = payload(cached=cfg(10.0, 100))
+        result = compare_bench.compare(fresh, base)
+        assert not result["ok"]
+        assert any("wall-clock" in f for f in result["failures"])
+
+    def test_absolute_grace_absorbs_subsecond_noise(self):
+        # 0.4s -> 0.55s is +37% relative but within the 0.5s grace floor:
+        # timer noise on a tiny smoke config must not fail the build.
+        fresh = payload(cached=cfg(0.55, 100))
+        base = payload(cached=cfg(0.4, 100))
+        assert compare_bench.compare(fresh, base)["ok"]
+
+    def test_fresh_only_config_skipped_unless_strict(self):
+        fresh = payload(cached=cfg(2.0, 100), brand_new=cfg(9.9, 999))
+        base = payload(cached=cfg(2.0, 100))
+        assert compare_bench.compare(fresh, base)["ok"]
+        strict = compare_bench.compare(fresh, base, strict_configs=True)
+        assert not strict["ok"]
+        assert any("brand_new" in f for f in strict["failures"])
+
+    def test_baseline_only_config_reported_not_fatal(self):
+        fresh = payload(cached=cfg(2.0, 100))
+        base = payload(cached=cfg(2.0, 100), retired=cfg(1.0, 10))
+        result = compare_bench.compare(fresh, base, strict_configs=True)
+        assert result["ok"]
+        assert result["only_in_baseline"] == ["retired"]
+
+
+class TestMain:
+    def _write(self, tmp_path, name, data):
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_main_ok_and_writes_output(self, tmp_path, capsys):
+        base = payload(cached=cfg(2.0, 100))
+        fresh = self._write(tmp_path, "fresh.json", base)
+        baseline = self._write(tmp_path, "base.json", base)
+        out = str(tmp_path / "compare.json")
+        rc = compare_bench.main(
+            ["--fresh", fresh, "--baseline", baseline, "--output", out]
+        )
+        assert rc == 0
+        assert "no regression" in capsys.readouterr().out
+        written = json.loads(open(out).read())
+        assert written["ok"] and written["rows"]
+
+    def test_main_regression_exit_code(self, tmp_path, capsys):
+        fresh = self._write(
+            tmp_path, "fresh.json", payload(cached=cfg(2.0, 300))
+        )
+        baseline = self._write(
+            tmp_path, "base.json", payload(cached=cfg(2.0, 100))
+        )
+        rc = compare_bench.main(["--fresh", fresh, "--baseline", baseline])
+        assert rc == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_main_malformed_input_exits(self, tmp_path):
+        bogus = self._write(tmp_path, "bogus.json", {"not_configs": {}})
+        with pytest.raises(SystemExit):
+            compare_bench.main(["--fresh", bogus, "--baseline", bogus])

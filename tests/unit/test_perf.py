@@ -8,9 +8,22 @@ from repro import perf
 from repro.ir.instructions import AllocSite
 from repro.obs import metrics
 from repro.perf.cache import RefutedStateCache
-from repro.perf.memo import SOLVER_MEMO, LRUCache, SolverMemo
+from repro.perf.memo import SOLVER_MEMO, SOLVER_PARTITION, LRUCache, SolverMemo
 from repro.pointsto.graph import AbsLoc
-from repro.solver import LinExpr, SolverStats, check_sat, eq, le
+from repro.solver import (
+    NULL,
+    LinExpr,
+    SolverContext,
+    SolverStats,
+    check_sat,
+    eq,
+    le,
+    ref_eq,
+    ref_ne,
+    canonical_key,
+    split_components,
+    syntactic_unsat,
+)
 from repro.symbolic import Query
 
 
@@ -32,10 +45,12 @@ def query_with_region(region):
 def fresh_memo():
     SOLVER_MEMO.clear()
     enabled = SOLVER_MEMO.enabled
+    partition = SOLVER_PARTITION.enabled
     SOLVER_MEMO.set_enabled(True)
     yield
     SOLVER_MEMO.clear()
     SOLVER_MEMO.set_enabled(enabled)
+    SOLVER_PARTITION.set_enabled(partition)
 
 
 class TestLRUCache:
@@ -84,6 +99,13 @@ class TestLRUCache:
 
 
 class TestSolverMemo:
+    @pytest.fixture(autouse=True)
+    def monolithic(self):
+        # These tests pin the whole-query memo, which only the monolithic
+        # (--no-partition) solver path consults.
+        SOLVER_PARTITION.set_enabled(False)
+        yield
+
     def test_check_sat_memoizes_verdict(self):
         d = LinExpr.var("d")
         atoms = [le(d, LinExpr.constant(3)), le(LinExpr.constant(1), d)]
@@ -145,6 +167,144 @@ class TestSolverMemo:
         assert len(memo.check) == 0 and len(memo.entailment) == 0
         memo.set_enabled(False)
         assert memo.enabled is False
+
+
+class TestPartitionedSolver:
+    @pytest.fixture(autouse=True)
+    def partitioned(self):
+        SOLVER_PARTITION.set_enabled(True)
+        yield
+
+    def _xy_atoms(self):
+        # Two variable-disjoint fragments: x-chain and y-chain.
+        x, y = LinExpr.var("x"), LinExpr.var("y")
+        return [
+            le(x, LinExpr.constant(3)),
+            le(LinExpr.constant(1), x),
+            le(y, LinExpr.constant(9)),
+        ]
+
+    def test_syntactic_unsat_screens_ground_contradictions(self):
+        assert syntactic_unsat([le(LinExpr.constant(1), LinExpr.constant(0))], frozenset())
+        assert syntactic_unsat([eq(LinExpr.constant(2), LinExpr.constant(0))], frozenset())
+        assert syntactic_unsat([ref_ne("v", "v")], frozenset())
+        assert syntactic_unsat([ref_eq("v", NULL)], frozenset({"v"}))
+        assert syntactic_unsat(self._xy_atoms(), frozenset()) is None
+
+    def test_split_components_by_shared_variables(self):
+        comps = split_components(self._xy_atoms(), frozenset({"x", "z"}))
+        assert len(comps) == 2
+        sizes = sorted(len(catoms) for catoms, _ in comps)
+        assert sizes == [1, 2]
+        for catoms, (atom_key, sliced) in comps:
+            # Nominal keys: the component's own atoms, untouched.
+            assert atom_key == frozenset(catoms)
+            # nonnull slices to the component's own variables only (the
+            # irrelevant "z" fact never reaches a key).
+            assert len(sliced) <= 1
+
+    def test_canonical_keys_collapse_alpha_equivalent_fragments(self):
+        # Structurally identical chains over different fresh variables
+        # must share one canonical signature — naming is what the
+        # executor varies per path and per search.
+        a = [eq(LinExpr.var("a1").sub(LinExpr.var("a2")), LinExpr.constant(2))]
+        b = [eq(LinExpr.var("b7").sub(LinExpr.var("b9")), LinExpr.constant(2))]
+        key_a = canonical_key(a, frozenset())
+        key_b = canonical_key(b, frozenset({"b7"}))
+        assert key_a[0] == key_b[0]
+        # Signatures are plain data — first-occurrence variable indices,
+        # never term objects — and nonnull facts map to the same indices.
+        # Constants and coefficients are zigzag-encoded (-2 -> 3, 1 -> 2,
+        # -1 -> 1) so CPython's hash(-1) == hash(-2) aliasing cannot
+        # collapse distinct signatures onto one hash bucket.
+        assert key_a[0] == (("==", 3, (0, 2), (1, 1)),)
+        assert key_b[1] == frozenset({0})
+        # ...and a different constant is a different key.
+        c = [eq(LinExpr.var("c1").sub(LinExpr.var("c2")), LinExpr.constant(3))]
+        key_c = canonical_key(c, frozenset())
+        assert key_c != key_a
+        # Mixed ref/lin components keep NULL distinguishable from any
+        # variable slot.
+        key_r = canonical_key([ref_eq("v", NULL)], frozenset())
+        assert key_r[0] == (("=", 0, -1),)
+
+    def test_component_verdicts_memoized_across_queries(self):
+        stats = SolverStats()
+        assert check_sat(self._xy_atoms(), stats=stats)
+        checks = metrics.counter("solver.checks")
+        before = checks.value
+        # Same fragments inside a different (larger) query: all component
+        # memo hits, zero actual decision-procedure runs.
+        z = LinExpr.var("z")
+        assert check_sat(self._xy_atoms() + [le(z, LinExpr.constant(5))], stats=stats)
+        assert checks.value == before + 1  # only the fresh z component ran
+        assert stats.component_hits == 2
+
+    def test_context_answers_before_memo(self):
+        ctx = SolverContext()
+        stats = SolverStats()
+        assert check_sat(self._xy_atoms(), stats=stats, context=ctx)
+        assert len(ctx) == 2
+        SOLVER_MEMO.clear()  # context alone must answer now
+        assert check_sat(self._xy_atoms(), stats=stats, context=ctx)
+        assert stats.context_hits == 2
+
+    def test_unsat_component_refutes_whole_query(self):
+        x, y = LinExpr.var("x"), LinExpr.var("y")
+        atoms = [
+            le(y, LinExpr.constant(9)),
+            le(x, LinExpr.constant(0)),
+            le(LinExpr.constant(1), x),  # x-component infeasible
+        ]
+        stats = SolverStats()
+        assert not check_sat(atoms, stats=stats)
+        assert stats.unsat == 1
+
+    def test_parity_with_monolithic_on_mixed_atoms(self):
+        x = LinExpr.var("x")
+        cases = [
+            ([ref_eq("a", "b"), ref_ne("b", "a"), le(x, LinExpr.constant(1))], frozenset()),
+            ([ref_eq("a", NULL)], frozenset({"a"})),
+            ([ref_eq("a", NULL), ref_eq("a", "b")], frozenset({"b"})),
+            ([eq(x, LinExpr.constant(4)), le(x, LinExpr.constant(3))], frozenset()),
+            ([ref_eq("a", "b"), le(x, LinExpr.constant(3))], frozenset()),
+        ]
+        for atoms, nonnull in cases:
+            SOLVER_PARTITION.set_enabled(True)
+            SOLVER_MEMO.clear()
+            part = check_sat(atoms, nonnull=nonnull)
+            SOLVER_PARTITION.set_enabled(False)
+            SOLVER_MEMO.clear()
+            mono = check_sat(atoms, nonnull=nonnull)
+            assert part == mono, (atoms, nonnull)
+
+    def test_partitioning_works_with_memo_disabled(self):
+        SOLVER_MEMO.set_enabled(False)
+        stats = SolverStats()
+        assert check_sat(self._xy_atoms(), stats=stats)
+        assert check_sat(self._xy_atoms(), stats=stats)
+        assert stats.component_hits == 0
+        assert len(SOLVER_MEMO.component) == 0
+
+    def test_context_cap_clears_wholesale(self):
+        from repro.solver import partition as partition_mod
+
+        ctx = SolverContext()
+        for i in range(partition_mod.CONTEXT_CAP):
+            ctx.remember(("k", i), True)
+        assert len(ctx) == partition_mod.CONTEXT_CAP
+        ctx.remember(("k", "overflow"), False)
+        assert len(ctx) == 1
+        assert ctx.get(("k", "overflow")) is False
+
+    def test_query_shares_context_with_copies(self):
+        q = Query("M.m")
+        v = q.new_ref(frozenset({A}))
+        q.set_local("x", v)
+        assert q.check_sat()
+        assert q.solver_ctx is not None
+        child = q.copy()
+        assert child.solver_ctx is q.solver_ctx
 
 
 class TestRefutedStateCache:
