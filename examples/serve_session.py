@@ -1,0 +1,73 @@
+"""The edit-analyze loop against a resident analysis session.
+
+A :class:`ProgramSession` is the serve daemon's core, usable in-process:
+the pipeline front half runs once, every verdict records the search
+footprint that produced it, and an ``update`` re-runs only the verdicts
+the edit can actually have changed — everything else is answered from
+retained state. This script drives the same lifecycle-leak workload the
+``BENCH_serve.json`` benchmark uses and prints the accounting: how many
+edges the edit invalidated, how many verdicts the warm re-analysis
+reused, and that the warm payload is byte-identical to a cold build of
+the edited source.
+
+Run:  python examples/serve_session.py
+(The same loop over a subprocess: `thresher serve app.mj --stdio`.)
+"""
+
+import json
+
+from repro.bench.workloads import lifecycle_app, lifecycle_edit
+from repro.serve.session import ProgramSession
+
+PARAMS = {
+    "client": "reachability",
+    "root_class": "Registry",
+    "root_field": "hold",
+    "target_class": "Item",
+}
+
+
+def main() -> None:
+    source = lifecycle_app(8, leaky=1)
+    session = ProgramSession(source, include_library=False)
+    try:
+        cold, meta = session.analyze(PARAMS)
+        print(
+            f"cold analyze: {cold['status']}, {meta['jobs_run']} searches,"
+            f" {len(cold['verdicts'])} edges, {meta['seconds'] * 1000:.0f}ms"
+        )
+
+        # Edit one screen's onStart; the other seven share no code with it.
+        update, umeta = session.update(
+            {"source": lifecycle_edit(source, screen=3)}
+        )
+        print(
+            f"update: {update['mode']}, changed {update['changed_methods']},"
+            f" invalidated {umeta['invalidated_edges']} edge(s),"
+            f" retained {umeta['retained_verdicts']}"
+        )
+
+        warm, wmeta = session.analyze(PARAMS)
+        print(
+            f"warm analyze: {warm['status']}, {wmeta['jobs_run']} search(es)"
+            f" re-run, {wmeta['verdicts_reused']} verdicts reused,"
+            f" {wmeta['seconds'] * 1000:.0f}ms"
+        )
+
+        reference = ProgramSession(
+            lifecycle_edit(source, screen=3), include_library=False
+        )
+        try:
+            ref, _ = reference.analyze(PARAMS)
+        finally:
+            reference.close()
+        identical = json.dumps(warm["verdicts"], sort_keys=True) == json.dumps(
+            ref["verdicts"], sort_keys=True
+        )
+        print(f"byte-identical to a cold build of the edit: {identical}")
+    finally:
+        session.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -32,10 +32,55 @@ from .clients.casts import analyze_casts
 from .clients.encapsulation import analyze_encapsulation
 from .clients.immutability import analyze_immutability
 from .clients.reachability import analyze_reachability
-from .clients.result import AnalysisResult, AnalysisStats
+from .clients.result import WIRE_SCHEMA_VERSION, AnalysisResult, AnalysisStats
 from .symbolic import SearchConfig
 
 CLIENTS = ("reachability", "casts", "immutability", "encapsulation")
+
+SCHEMA_VERSION = WIRE_SCHEMA_VERSION
+
+#: The per-client selector fields, flat on :class:`AnalysisRequest`.
+_SELECTOR_FIELDS = (
+    "root_class",
+    "root_field",
+    "target_class",
+    "site",
+    "class_name",
+    "owner_class",
+    "field_name",
+)
+
+#: Which selector fields each client consults. ``analyze`` validates a
+#: request against this table *before* running the pipeline front half, so
+#: a selector the chosen client would silently ignore is an error instead.
+SELECTORS: dict[str, frozenset] = {
+    "casts": frozenset(),
+    "immutability": frozenset({"class_name"}),
+    "encapsulation": frozenset({"owner_class", "field_name"}),
+    "reachability": frozenset(
+        {"root_class", "root_field", "target_class", "site"}
+    ),
+}
+
+#: Fields that cannot cross the wire: live objects and callbacks.
+_LOCAL_ONLY_FIELDS = ("program", "pta", "config", "context_policy", "on_event")
+
+#: The v1 wire schema: every field of :class:`AnalysisRequest` that
+#: serializes. Everything else is process-local (`_LOCAL_ONLY_FIELDS`).
+_WIRE_FIELDS = (
+    "client",
+    "source",
+    "include_library",
+    *_SELECTOR_FIELDS,
+    "jobs",
+    "deadline",
+    "budget",
+    "memoize",
+    "subsumption",
+    "partition",
+    "backend",
+    "journal",
+)
 
 
 @dataclass
@@ -83,8 +128,113 @@ class AnalysisRequest:
     config: Optional[SearchConfig] = None
     on_event: Optional[Callable[[object], None]] = None
 
+    # -- v1 wire schema -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The v1 wire rendering of this request: plain JSON-serializable
+        values plus a ``schema_version`` stamp. Raises :class:`ValueError`
+        when a process-local field (``program``/``pta``/``config``/
+        ``context_policy``/``on_event``) is set — those hold live objects;
+        send ``source=`` over the wire instead."""
+        local = [
+            name
+            for name in _LOCAL_ONLY_FIELDS
+            if getattr(self, name) is not None
+        ]
+        if local:
+            raise ValueError(
+                f"{', '.join(f'{n}=' for n in local)} cannot cross the wire"
+                " (live process-local objects); serve-side requests carry"
+                " source= and let the daemon build the rest"
+            )
+        out: dict = {"schema_version": SCHEMA_VERSION}
+        for name in _WIRE_FIELDS:
+            out[name] = getattr(self, name)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AnalysisRequest":
+        """Rebuild a request from its v1 wire dict. Rejects unknown fields
+        and unsupported schema versions with a message naming both the
+        offender and what the schema accepts."""
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"AnalysisRequest.from_dict needs a dict, got {type(data).__name__}"
+            )
+        data = dict(data)
+        version = data.pop("schema_version", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported schema_version {version!r}: this build speaks"
+                f" version {SCHEMA_VERSION}"
+            )
+        unknown = sorted(set(data) - set(_WIRE_FIELDS))
+        if unknown:
+            raise ValueError(
+                f"unknown AnalysisRequest field(s) {', '.join(unknown)};"
+                f" the v1 wire schema accepts {', '.join(_WIRE_FIELDS)}"
+            )
+        if "client" not in data:
+            raise ValueError("AnalysisRequest.from_dict needs client=")
+        return cls(**data)
+
+
+def validate_selectors(request: AnalysisRequest) -> None:
+    """Check the request's selector fields against the per-client table
+    *before* any pipeline work: a selector the client would ignore raises,
+    and missing required selectors raise with the field names spelled out."""
+    allowed = SELECTORS[request.client]
+    given = {
+        name
+        for name in _SELECTOR_FIELDS
+        if getattr(request, name) is not None
+    }
+    misapplied = sorted(given - allowed)
+    if misapplied:
+        accepts = (
+            f"accepts {', '.join(sorted(f + '=' for f in allowed))}"
+            if allowed
+            else "takes no selectors"
+        )
+        raise ValueError(
+            f"selector(s) {', '.join(f + '=' for f in misapplied)} do not"
+            f" apply to client {request.client!r}, which {accepts}"
+        )
+    if request.client == "immutability":
+        if "class_name" not in given:
+            raise ValueError("immutability needs class_name=")
+    elif request.client == "encapsulation":
+        missing = sorted({"owner_class", "field_name"} - given)
+        if missing:
+            raise ValueError(
+                f"encapsulation needs {' and '.join(f + '=' for f in missing)}"
+            )
+    elif request.client == "reachability":
+        triple = {"root_class", "root_field", "target_class"}
+        if "site" in given:
+            if given & triple:
+                raise ValueError(
+                    "reachability takes site= or the"
+                    " root_class=/root_field=/target_class= triple, not both"
+                )
+        elif given < triple:
+            raise ValueError(
+                "reachability needs site= or all of root_class=,"
+                " root_field=, and target_class="
+            )
+
 
 def _resolve_pta(request: AnalysisRequest) -> "object":
+    given = [
+        name
+        for name in ("source", "program", "pta")
+        if getattr(request, name) is not None
+    ]
+    if len(given) > 1:
+        raise ValueError(
+            "AnalysisRequest needs exactly one of source=, program=, or"
+            f" pta=; got {' and '.join(f'{n}=' for n in given)}"
+        )
     if request.pta is not None:
         if request.context_policy is not None:
             raise ValueError("context_policy has no effect on a finished pta=")
@@ -98,15 +248,21 @@ def _resolve_pta(request: AnalysisRequest) -> "object":
             raise ValueError(
                 "AnalysisRequest needs one of source=, program=, or pta="
             )
-        from .lang import frontend
-
-        source = request.source
-        if request.include_library:
-            from .android.harness import build_full_source
-
-            source = build_full_source(source)
-        program = build_program(frontend(source))
+        program = build_program(frontend_source(request))
     return pointsto_analyze(program, policy=request.context_policy)
+
+
+def frontend_source(request: AnalysisRequest) -> "object":
+    """Run the frontend over the request's source text, wrapping it in the
+    Android library+harness first when ``include_library`` asks for it."""
+    from .lang import frontend
+
+    source = request.source
+    if request.include_library:
+        from .android.harness import build_full_source
+
+        source = build_full_source(source)
+    return frontend(source)
 
 
 def _resolve_config(request: AnalysisRequest) -> SearchConfig:
@@ -134,6 +290,7 @@ def analyze(request: Optional[AnalysisRequest] = None, /, **kwargs) -> AnalysisR
         raise ValueError(
             f"unknown client {request.client!r}; expected one of {CLIENTS}"
         )
+    validate_selectors(request)
     pta = _resolve_pta(request)
     config = _resolve_config(request)
     from .engine import RefutationDriver
@@ -153,36 +310,7 @@ def analyze(request: Optional[AnalysisRequest] = None, /, **kwargs) -> AnalysisR
         on_event=request.on_event,
     )
     try:
-        if request.client == "casts":
-            result = analyze_casts(pta, config=config, engine=driver)
-        elif request.client == "immutability":
-            if request.class_name is None:
-                raise ValueError("immutability needs class_name=")
-            result = analyze_immutability(
-                pta, request.class_name, config=config, engine=driver
-            )
-        elif request.client == "encapsulation":
-            if request.owner_class is None or request.field_name is None:
-                raise ValueError(
-                    "encapsulation needs owner_class= and field_name="
-                )
-            result = analyze_encapsulation(
-                pta,
-                request.owner_class,
-                request.field_name,
-                config=config,
-                engine=driver,
-            )
-        else:
-            result = analyze_reachability(
-                pta,
-                request.root_class,
-                request.root_field,
-                request.target_class,
-                site=request.site,
-                config=config,
-                engine=driver,
-            )
+        result = _run_client(request, pta, config, driver)
     finally:
         driver.close()
         if installed:
@@ -192,4 +320,45 @@ def analyze(request: Optional[AnalysisRequest] = None, /, **kwargs) -> AnalysisR
     return result
 
 
-__all__ = ["AnalysisRequest", "AnalysisResult", "AnalysisStats", "analyze", "CLIENTS"]
+def _run_client(
+    request: AnalysisRequest, pta: "object", config: SearchConfig, driver: "object"
+) -> AnalysisResult:
+    """Dispatch a validated request to its client against a caller-supplied
+    refuter. Shared between :func:`analyze` (fresh driver per call) and the
+    serve session (one persistent driver across requests; clients never
+    close an engine they did not create)."""
+    if request.client == "casts":
+        return analyze_casts(pta, config=config, engine=driver)
+    if request.client == "immutability":
+        return analyze_immutability(
+            pta, request.class_name, config=config, engine=driver
+        )
+    if request.client == "encapsulation":
+        return analyze_encapsulation(
+            pta,
+            request.owner_class,
+            request.field_name,
+            config=config,
+            engine=driver,
+        )
+    return analyze_reachability(
+        pta,
+        request.root_class,
+        request.root_field,
+        request.target_class,
+        site=request.site,
+        config=config,
+        engine=driver,
+    )
+
+
+__all__ = [
+    "AnalysisRequest",
+    "AnalysisResult",
+    "AnalysisStats",
+    "analyze",
+    "validate_selectors",
+    "CLIENTS",
+    "SELECTORS",
+    "SCHEMA_VERSION",
+]

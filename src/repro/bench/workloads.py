@@ -160,6 +160,83 @@ class Grid {{
 """
 
 
+def lifecycle_app(n_screens: int, leaky: int = 0, branches: int = 0) -> str:
+    """The serve benchmark's workload: ``n_screens`` independent
+    lifecycle-style components, each allocating its own payload class and
+    conditionally storing it into a shared static registry — one refutable
+    edge per screen (the first ``leaky`` screens store unconditionally and
+    are witnessed instead).
+
+    Built for *edit-level* incremental re-analysis: the screens share no
+    code, so an edit to one screen's ``onStart`` leaves every other
+    screen's verdict footprint untouched. Each ``onStart`` carries a
+    ``/*edit-i*/`` marker and already bumps ``this.pad``, so the canonical
+    edit (:func:`lifecycle_edit`) appends another bump: additive at the
+    pointer-fact level (no new allocations, fields, or callees), hence
+    eligible for the graft + delta-worklist path, and summary-preserving
+    for every method that transitively calls it. Runs without the Android
+    harness — pass ``include_library=False``.
+
+    ``branches`` adds that many sequential nondeterministic updates to a
+    counter ahead of each screen's (unreachable-bound) store guard, so the
+    per-edge refutation cost scales like :func:`branchy_app` — the knob
+    that makes search time dominate the pipeline front half, which is what
+    the incremental-vs-cold benchmark measures."""
+    classes = ["class Item { }", "class Registry { static Item hold; }"]
+    main_lines = []
+    for i in range(n_screens):
+        guard_lines = []
+        if branches:
+            guard_lines.append("        int x = 0;")
+            guard_lines.extend(
+                "        if (nondet()) { x = x + 1; } else { x = x + 2; }"
+                for _ in range(branches)
+            )
+            guard = f"x > {3 * branches}"  # unreachable: each step adds <= 2
+        else:
+            guard_lines.append("        int gate = 0;")
+            guard = "gate == 1"
+        store = (
+            "Registry.hold = o;"
+            if i < leaky
+            else f"if ({guard}) {{ Registry.hold = o; }}"
+        )
+        body = "\n".join(guard_lines)
+        classes.append(
+            f"""
+class Obj{i} extends Item {{ }}
+class Screen{i} {{
+    int pad;
+    Item make() {{ Item o = new Obj{i}(); return o; }}
+    void onStart() {{
+        this.pad = this.pad + 1; /*edit-{i}*/
+        Item o = this.make();
+{body}
+        {store}
+    }}
+    void onStop() {{ this.pad = 0; }}
+}}"""
+        )
+        main_lines.append(
+            f"        Screen{i} s{i} = new Screen{i}();"
+            f" s{i}.onStart(); s{i}.onStop();"
+        )
+    body = "\n".join(main_lines)
+    classes.append(f"class M {{\n    static void main() {{\n{body}\n    }}\n}}")
+    return "\n".join(classes)
+
+
+def lifecycle_edit(source: str, screen: int = 0) -> str:
+    """The canonical one-method edit for :func:`lifecycle_app`: one more
+    ``pad`` bump in ``Screen{screen}.onStart``. Additive (old facts all
+    preserved) and summary-preserving (``pad`` was already in the mod
+    set), so a serve session re-analyzes exactly that screen's edge."""
+    marker = f"/*edit-{screen}*/"
+    if marker not in source:
+        raise ValueError(f"no {marker} marker: not a lifecycle_app source?")
+    return source.replace(marker, f"this.pad = this.pad + 1; {marker}")
+
+
 def container_app(n_activities: int) -> str:
     """``n`` activities each pushing themselves into local Vecs — the
     Figure 1 pattern replicated, stressing the null-object refutations."""

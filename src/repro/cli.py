@@ -11,6 +11,10 @@ Subcommands::
                                                        render a refutation
                                                        certificate or witness
                                                        narrative for one edge
+    thresher serve APP.mj [--stdio | --port N]         long-lived analysis
+                                                       daemon with edit-level
+                                                       incremental re-analysis
+                                                       (see docs/serve.md)
 
 ``APP.mj`` is a mini-Java source file (the app only; the Android library
 and the lifecycle harness are added automatically unless ``--no-library``).
@@ -191,6 +195,27 @@ def main(argv: list[str] | None = None) -> int:
     p_casts.add_argument("--budget", type=int, default=10_000)
     _add_driver_flags(p_casts)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived analysis daemon with edit-level incremental re-analysis",
+    )
+    p_serve.add_argument("file")
+    p_serve.add_argument(
+        "--stdio",
+        action="store_true",
+        help="speak JSON lines on stdin/stdout (default when --port is absent)",
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve HTTP/JSON on 127.0.0.1:N (POST /v1, GET /v1/status)",
+    )
+    p_serve.add_argument("--no-library", action="store_true")
+    p_serve.add_argument("--budget", type=int, default=10_000)
+    _add_driver_flags(p_serve)
+
     p_explain = sub.add_parser(
         "explain",
         help="render a refutation certificate (or witness narrative) for one edge",
@@ -252,6 +277,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_casts(args)
         if args.command == "explain":
             return _cmd_explain(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         return 2
     finally:
         if tracer is not None:
@@ -461,6 +488,29 @@ def _cmd_casts(args) -> int:
         driver.build_report(app=args.file, command="casts").write(args.json_report)
     driver.close()
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve import ProgramSession, serve_http, serve_stdio
+
+    if args.stdio and args.port is not None:
+        print("pass --stdio or --port N, not both", file=sys.stderr)
+        return 2
+    session = ProgramSession(
+        _read(args.file),
+        include_library=not args.no_library,
+        config=_search_config(args, path_budget=args.budget),
+        jobs=args.jobs,
+        deadline=args.deadline,
+        backend=args.backend,
+        journal=bool(args.journal),
+    )
+    try:
+        if args.port is not None:
+            return serve_http(session, args.port)
+        return serve_stdio(session)
+    finally:
+        session.close()
 
 
 def _cmd_explain(args) -> int:

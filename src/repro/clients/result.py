@@ -27,6 +27,12 @@ VERIFIED = "verified"
 VIOLATED = "violated"
 INCONCLUSIVE = "inconclusive"
 
+#: Version stamp of the v1 wire schema shared by
+#: :meth:`repro.api.AnalysisRequest.to_dict` and
+#: :meth:`AnalysisResult.to_dict`. Bump together with any
+#: breaking change to either payload.
+WIRE_SCHEMA_VERSION = 1
+
 
 @dataclass
 class AnalysisStats:
@@ -63,6 +69,25 @@ class AnalysisResult:
     #: The run's search journal (:class:`repro.obs.provenance.RunJournal`)
     #: when the request asked for one (``AnalysisRequest(journal=True)``).
     journal: Optional[object] = None
+
+    def to_dict(self) -> dict:
+        """The v1 wire rendering: JSON-serializable, journal excluded
+        (journals are process-local; render them with
+        :meth:`certificate` and ship the string). Per-item detail keeps
+        each client's ``str()`` rendering plus its ``status`` when the
+        item type has one."""
+        return {
+            "schema_version": WIRE_SCHEMA_VERSION,
+            "client": self.client,
+            "verified": self.verified,
+            "status": self.status,
+            "results": [
+                {"description": str(r), "status": getattr(r, "status", None)}
+                for r in self.results
+            ],
+            "stats": self.stats.to_dict(),
+            "report": self.report.to_dict() if self.report is not None else None,
+        }
 
     def certificate(self, description: str) -> str:
         """The refutation certificate (or search provenance) for one job,

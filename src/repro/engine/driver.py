@@ -125,6 +125,10 @@ class RefutationDriver:
         self.engine = Engine(pta, config, refuted_cache=self.refuted_states)
         self._lock = threading.Lock()
         self._records: dict = {}  # job key -> EdgeRecord, insertion-ordered
+        #: Driver-lifetime count of jobs answered from the shared result
+        #: cache (seeded or earlier-run verdicts). The serve session diffs
+        #: this across a request to report ``verdicts_reused``.
+        self.cache_hits = 0
         self._worker_snapshots: dict[str, dict] = {}
         #: Latest full metrics-registry snapshot per process worker
         #: (cumulative, latest wins); merged into the parent registry
@@ -297,6 +301,8 @@ class RefutationDriver:
         cached = self._cached(key)
         if cached is not None:
             _CACHE_HITS.inc()
+            with self._lock:
+                self.cache_hits += 1
             return cached
         with self._job_span("edge", str(edge)):
             result = self.engine.refute_edge(edge)
@@ -327,6 +333,8 @@ class RefutationDriver:
             cached = self._cached(key)
             if cached is not None:
                 _CACHE_HITS.inc()
+                with self._lock:
+                    self.cache_hits += 1
                 results[key] = cached
             else:
                 todo.append((key, edge))
@@ -573,7 +581,26 @@ class RefutationDriver:
         with self._lock:
             return dict(self.engine._edge_cache)
 
-    def build_report(self, app: str = "", command: str = "") -> RunReport:
+    def seed_results(self, results: dict) -> None:
+        """Pre-populate the shared result cache with verdicts carried over
+        from an earlier run (the serve session's surviving verdict table).
+        Seeded edges are answered as cache hits without re-searching;
+        existing entries are never overwritten."""
+        with self._lock:
+            for key, result in results.items():
+                self.engine._edge_cache.setdefault(key, result)
+
+    def mark(self) -> tuple[int, int]:
+        """A per-request bookmark: ``(records so far, cache hits so far)``.
+        Pass the first element to :meth:`build_report` as ``since`` to
+        report just the jobs run after the mark; diff the second against
+        :attr:`cache_hits` for the verdicts served from cache since."""
+        with self._lock:
+            return len(self._records), self.cache_hits
+
+    def build_report(
+        self, app: str = "", command: str = "", since: int = 0
+    ) -> RunReport:
         """Snapshot the run so far as a structured :class:`RunReport`.
 
         The ``cache`` section merges this process's cache counters with the
@@ -596,7 +623,7 @@ class RefutationDriver:
                 deadline=self.config.deadline_seconds,
                 path_budget=self.config.path_budget,
                 wall_seconds=self._wall_seconds,
-                records=list(self._records.values()),
+                records=list(self._records.values())[since:],
                 phase_seconds=dict(self._phase_seconds),
                 cache=cache,
             )

@@ -72,15 +72,33 @@ class IRProgram:
     def assign_labels(self) -> None:
         """Assign unique labels to every statement and command."""
         for method in self.methods.values():
-            for stmt in walk_statements(method.body):
-                stmt.label = self._next_label
-                self._next_label += 1
-                self.statements[stmt.label] = stmt
-                if isinstance(stmt, AtomicStmt):
-                    cmd = stmt.cmd
-                    cmd.label = stmt.label
-                    self.commands[stmt.label] = cmd
-                    self.command_method[stmt.label] = method.qualified_name
+            self._label_method(method)
+
+    def _label_method(self, method: IRMethod) -> None:
+        for stmt in walk_statements(method.body):
+            stmt.label = self._next_label
+            self._next_label += 1
+            self.statements[stmt.label] = stmt
+            if isinstance(stmt, AtomicStmt):
+                cmd = stmt.cmd
+                cmd.label = stmt.label
+                self.commands[stmt.label] = cmd
+                self.command_method[stmt.label] = method.qualified_name
+
+    def replace_method(self, method: IRMethod) -> None:
+        """Graft a new body for an existing method: retire the old body's
+        labels from the label maps and assign fresh ones to the new body.
+        Labels are never reused, so every other method's labels — and any
+        retained analysis state keyed on them — stay valid by construction."""
+        old = self.methods.get(method.qualified_name)
+        if old is None:
+            raise KeyError(method.qualified_name)
+        for stmt in walk_statements(old.body):
+            self.statements.pop(stmt.label, None)
+            self.commands.pop(stmt.label, None)
+            self.command_method.pop(stmt.label, None)
+        self.methods[method.qualified_name] = method
+        self._label_method(method)
 
     def method_of_label(self, label: int) -> IRMethod:
         return self.methods[self.command_method[label]]

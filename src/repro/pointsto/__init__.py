@@ -32,7 +32,8 @@ from .heappaths import (
     static_roots,
     target_locations,
 )
-from .modref import ModRefAnalysis, ModSet
+from .incremental import DeltaReport, extend_solution
+from .modref import ModRefAnalysis, ModSet, RefSet
 from .producers import EdgeKey, compute_producers, edge_key
 from .termination import NormalCompletion
 
@@ -49,6 +50,11 @@ class PointsToResult:
     producers: dict[EdgeKey, list[int]]
     modref: ModRefAnalysis
     completion: NormalCompletion
+    #: The live constraint solver behind ``graph``/``call_graph`` when the
+    #: caller asked for it (``analyze(..., retain_solver=True)``); required
+    #: by :func:`reanalyze` for edit-level incremental re-solving. ``None``
+    #: for one-shot runs so results stay lean and picklable.
+    solver: Optional[AndersenSolver] = None
 
     # -- delegation helpers used heavily by the symbolic executor -----------
 
@@ -81,17 +87,84 @@ def analyze(
     policy: Optional[ContextPolicy] = None,
     empty_statics: Optional[set[tuple[str, str]]] = None,
     roots: Optional[list[str]] = None,
+    retain_solver: bool = False,
 ) -> PointsToResult:
     """Run the full up-front analysis pipeline: points-to + call graph +
-    mod/ref + edge producers."""
+    mod/ref + edge producers. ``retain_solver=True`` keeps the live
+    :class:`AndersenSolver` on the result so :func:`reanalyze` can extend
+    the solution after an additive edit instead of starting over."""
     policy = policy or ContextInsensitive()
-    graph, call_graph, suppressed = solve(program, policy, empty_statics, roots)
+    if retain_solver:
+        solver_obj = AndersenSolver(program, policy)
+        solver_obj.solve(roots)
+        suppressed: set[AbsLoc] = set()
+        if empty_statics:
+            for class_name, field_name in empty_statics:
+                suppressed.update(
+                    solver_obj.graph.pt_static(class_name, field_name)
+                )
+            solver_obj = AndersenSolver(
+                program, policy, suppressed_contents=suppressed
+            )
+            solver_obj.solve(roots)
+        graph, call_graph = solver_obj.graph, solver_obj.call_graph
+    else:
+        solver_obj = None
+        graph, call_graph, suppressed = solve(
+            program, policy, empty_statics, roots
+        )
     producers = compute_producers(program, graph, call_graph)
     modref = ModRefAnalysis(program, call_graph)
     completion = NormalCompletion(program, call_graph)
     return PointsToResult(
-        program, graph, call_graph, policy, suppressed, producers, modref, completion
+        program,
+        graph,
+        call_graph,
+        policy,
+        suppressed,
+        producers,
+        modref,
+        completion,
+        solver_obj,
     )
+
+
+def reanalyze(
+    prev: PointsToResult, changed_methods: set[str]
+) -> tuple[PointsToResult, DeltaReport]:
+    """Extend a retained solution after an *additive* edit.
+
+    ``prev`` must carry its live solver (``analyze(..., retain_solver=
+    True)``) and its program must already have the changed method bodies
+    grafted in. Only the changed methods' constraints are re-generated;
+    the delta worklist drains their consequences. The summary phases
+    (producers, mod/ref, completion) are recomputed in full — they are
+    cheap linear passes. Returns the refreshed result (sharing the solver,
+    graph, and call graph) plus the :class:`DeltaReport` of where the
+    solution grew."""
+    if prev.solver is None:
+        raise ValueError(
+            "reanalyze needs a retained solver: run"
+            " analyze(..., retain_solver=True) first"
+        )
+    delta = extend_solution(prev.solver, changed_methods)
+    program = prev.solver.program
+    call_graph = prev.solver.call_graph
+    producers = compute_producers(program, prev.solver.graph, call_graph)
+    modref = ModRefAnalysis(program, call_graph)
+    completion = NormalCompletion(program, call_graph)
+    result = PointsToResult(
+        program,
+        prev.solver.graph,
+        call_graph,
+        prev.policy,
+        prev.suppressed,
+        producers,
+        modref,
+        completion,
+        prev.solver,
+    )
+    return result, delta
 
 
 __all__ = [
@@ -99,7 +172,11 @@ __all__ = [
     "CallGraph",
     "solve",
     "analyze",
+    "reanalyze",
+    "DeltaReport",
+    "extend_solution",
     "PointsToResult",
+    "RefSet",
     "ContextPolicy",
     "ContextInsensitive",
     "ObjectSensitive",

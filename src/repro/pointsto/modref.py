@@ -54,6 +54,33 @@ class ModSet:
     def is_empty(self) -> bool:
         return not self.fields and not self.statics and not self.calls_unknown
 
+    def signature(self) -> tuple:
+        """A hashable fingerprint of the summary. Two summaries with equal
+        signatures behave identically in every mod/ref consultation (callee
+        skipping, loop weakening, branch relevance) — the serve session
+        compares signatures across an edit to decide which retained
+        verdicts a changed method can actually affect."""
+        return (
+            frozenset(self.fields),
+            frozenset(self.statics),
+            frozenset(self.alloc_sites),
+            self.calls_unknown,
+        )
+
+
+@dataclass
+class RefSet:
+    """An over-approximation of the memory a piece of code may *read*."""
+
+    fields: set[str] = field(default_factory=set)
+    statics: set[tuple[str, str]] = field(default_factory=set)
+    reads_unknown: bool = False  # a call with no resolved target
+
+    def update(self, other: "RefSet") -> None:
+        self.fields |= other.fields
+        self.statics |= other.statics
+        self.reads_unknown |= other.reads_unknown
+
 
 class ModRefAnalysis:
     """Transitive per-method mod summaries over the resolved call graph."""
@@ -63,6 +90,7 @@ class ModRefAnalysis:
         self.call_graph = call_graph
         self._direct: dict[str, ModSet] = {}
         self._summary: dict[str, ModSet] = {}
+        self._refs: dict[str, RefSet] = {}  # computed lazily
         self._compute()
 
     def _compute(self) -> None:
@@ -162,6 +190,57 @@ class ModRefAnalysis:
             unknown.calls_unknown = True
             return unknown
         return summary
+
+    def method_refs(self, qname: str) -> RefSet:
+        """Transitive *ref* set of a method: the instance fields and static
+        fields it (or any callee) may read. This is the read half of the
+        footprint the serve session intersects with a points-to delta: a
+        verdict whose visited methods never read a grown field or static
+        cannot observe the growth."""
+        if not self._refs:
+            self._compute_refs()
+        refs = self._refs.get(qname)
+        if refs is None:
+            unknown = RefSet()
+            unknown.reads_unknown = True
+            return unknown
+        return refs
+
+    def footprint_refs(self, qnames) -> RefSet:
+        """Union of :meth:`method_refs` over a verdict footprint."""
+        out = RefSet()
+        for qname in qnames:
+            out.update(self.method_refs(qname))
+        return out
+
+    def _compute_refs(self) -> None:
+        methods = self.call_graph.reachable_methods & set(self.program.methods)
+        for qname in methods:
+            refs = RefSet()
+            for cmd in walk_commands(self.program.methods[qname].body):
+                if isinstance(cmd, ins.FieldRead):
+                    refs.fields.add(cmd.field_name)
+                elif isinstance(cmd, ins.ArrayRead):
+                    refs.fields.add(ELEMS)
+                elif isinstance(cmd, ins.StaticRead):
+                    refs.statics.add((cmd.class_name, cmd.field_name))
+            self._refs[qname] = refs
+        changed = True
+        while changed:
+            changed = False
+            for qname in methods:
+                refs = self._refs[qname]
+                before = (len(refs.fields), len(refs.statics), refs.reads_unknown)
+                for cmd in walk_commands(self.program.methods[qname].body):
+                    if isinstance(cmd, ins.Invoke):
+                        for callee in self.call_graph.callees_of(cmd.label):
+                            callee_refs = self._refs.get(callee)
+                            if callee_refs is None:
+                                refs.reads_unknown = True
+                            else:
+                                refs.update(callee_refs)
+                if before != (len(refs.fields), len(refs.statics), refs.reads_unknown):
+                    changed = True
 
     def statement_mod(self, stmt: Stmt) -> ModSet:
         """Mod set of one structured statement (e.g. a loop body), callees

@@ -1,0 +1,34 @@
+"""The ``repro serve`` daemon: load a program once, answer analysis
+requests against retained in-memory state, and re-analyze *edits*
+incrementally instead of from scratch.
+
+The pieces, bottom up:
+
+* :mod:`repro.serve.invalidation` — method body fingerprints, additive-edit
+  detection, allocation-site grafting, and the rules deciding which
+  retained verdicts an edit can actually touch.
+* :mod:`repro.serve.session` — :class:`ProgramSession`, the stateful core:
+  one program, one retained points-to solution, a verdict table keyed by
+  edge, and a persistent refutation driver whose caches survive requests.
+* :mod:`repro.serve.protocol` — the v1 request/response envelopes shared
+  by both transports.
+* :mod:`repro.serve.server` — the stdio JSON-lines loop and the HTTP/JSON
+  front end (``repro serve --stdio`` / ``--port N``).
+"""
+
+from .protocol import OPS, ProtocolError, Request, error_response, ok_response, parse_request
+from .session import ProgramSession
+from .server import handle_request, serve_http, serve_stdio
+
+__all__ = [
+    "ProgramSession",
+    "Request",
+    "ProtocolError",
+    "OPS",
+    "parse_request",
+    "ok_response",
+    "error_response",
+    "handle_request",
+    "serve_stdio",
+    "serve_http",
+]

@@ -77,6 +77,11 @@ class SearchConfig:
     #: Upper bound on disjuncts produced by one array-write case split
     #: before falling back to dropping disaliasing constraints.
     max_array_case_splits: int = 2
+    #: Record, per search, the set of methods the search visited or whose
+    #: mod/ref summaries it consulted (``EdgeResult.footprint``). The serve
+    #: session uses footprints to invalidate only the verdicts an edit can
+    #: touch; off by default because one-shot runs never read them.
+    record_footprints: bool = False
 
     def copy(self, **overrides) -> "SearchConfig":
         from dataclasses import replace

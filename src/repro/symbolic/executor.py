@@ -139,6 +139,10 @@ class Engine:
         self._edge_cache: dict = {}
         self._branch_mods: dict[int, ModSet] = {}
         self._branch_throw: dict[int, bool] = {}
+        #: Footprint of the search in flight (method qnames visited or
+        #: consulted); None unless ``config.record_footprints``.
+        self._fp: Optional[set[str]] = None
+        self._stmt_callees: dict[int, frozenset] = {}
         #: The active search journal (repro.obs.provenance), or None: every
         #: journaling hook below is a no-op when no journal is installed.
         self._sj: Optional["provenance.SearchJournal"] = None
@@ -167,6 +171,12 @@ class Engine:
             book.open_search(str(edge), kind="edge") if book is not None else None
         )
         producers = self.pta.producers_of(edge)
+        self._fp = set() if self.config.record_footprints else None
+        if self._fp is not None:
+            for label in producers:
+                qname = self.program.command_method.get(label)
+                if qname is not None:
+                    self._fp.add(qname)
         status = REFUTED
         witness_trace: Optional[list[int]] = None
         explored = 0
@@ -204,6 +214,9 @@ class Engine:
             refutation_kinds=dict(self.ctx.refutations),
             witness_trace=witness_trace,
         )
+        if self._fp is not None:
+            result.footprint = frozenset(self._fp)
+            self._fp = None
         if self._sj is not None:
             self._sj.close(status)
             result.kill_reasons = dict(self._sj.kill_counts)
@@ -249,6 +262,9 @@ class Engine:
             else None
         )
         method = self.program.method_of_label(label)
+        self._fp = set() if self.config.record_footprints else None
+        if self._fp is not None:
+            self._fp.add(method.qualified_name)
         q = Query(method.qualified_name)
         for var, region in bindings:
             v = q.new_ref(region, maybe_null=False, hint=var)
@@ -291,6 +307,9 @@ class Engine:
             refutation_kinds=dict(self.ctx.refutations),
             witness_trace=witness_trace,
         )
+        if self._fp is not None:
+            result.footprint = frozenset(self._fp)
+            self._fp = None
         if self._sj is not None:
             self._sj.close(status)
             result.kill_reasons = dict(self._sj.kill_counts)
@@ -626,6 +645,8 @@ class Engine:
             )
             return []
         callees = sorted(self.pta.callees_of(cmd.label))
+        if self._fp is not None:
+            self._fp.update(callees)
         mod = ModSet()
         for callee in callees:
             mod.update(self.pta.modref.method_mod(callee))
@@ -738,7 +759,27 @@ class Engine:
         if cached is None:
             cached = self.pta.modref.statement_mod(branch)
             self._branch_mods[id(branch)] = cached
+        self._fp_note_stmt(branch)
         return cached
+
+    def _fp_note_stmt(self, stmt: Stmt) -> None:
+        """Footprint bookkeeping for statement-level mod/ref consultations
+        (branch relevance, loop-invariant inference): the verdict depends on
+        the summaries of every callee reachable from the statement."""
+        if self._fp is None:
+            return
+        qnames = self._stmt_callees.get(id(stmt))
+        if qnames is None:
+            from ..ir.stmts import walk_commands
+
+            qnames = frozenset(
+                qname
+                for cmd in walk_commands(stmt)
+                if isinstance(cmd, ins.Invoke)
+                for qname in self.pta.callees_of(cmd.label)
+            )
+            self._stmt_callees[id(stmt)] = qnames
+        self._fp.update(qnames)
 
     def _mentions_sites(self, q: Query, sites: set) -> bool:
         for v in q.all_memory_vars():
@@ -821,6 +862,8 @@ class Engine:
         self, task: EnterMethodTask, rest: Cons, state: PathState, in_subwalk: bool
     ) -> list[PathState]:
         q = state.query
+        if self._fp is not None:
+            self._fp.add(task.qname)
         if not in_subwalk:
             dropped = self._history.should_drop(("entry", task.qname), q)
             if dropped:
@@ -862,6 +905,8 @@ class Engine:
             )
             return []  # unproducible constraints at program start: refuted
         callers = sorted(self.pta.callers_of(task.qname))
+        if self._fp is not None:
+            self._fp.update(caller for caller, _ in callers)
         out = []
         attempted = 0
         last_fail: Optional[str] = None

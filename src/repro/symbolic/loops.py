@@ -62,6 +62,7 @@ def saturate(engine: "Engine", loop: "Loop", query: Query) -> list[Query]:
 def _saturate(engine: "Engine", loop: "Loop", query: Query) -> list[Query]:
     cfg = engine.ctx.config
     mod = engine.pta.modref.statement_mod(loop.body)
+    engine._fp_note_stmt(loop.body)
     baseline_size = query.memory_size()
 
     def weaken(q: Query) -> Query:

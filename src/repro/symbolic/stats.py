@@ -28,6 +28,10 @@ class EdgeResult:
     #: Typed kill-reason counts from the search journal (empty unless a
     #: provenance journal was attached for the run).
     kill_reasons: dict[str, int] = field(default_factory=dict)
+    #: Methods the search visited or whose mod/ref summaries it consulted
+    #: (``SearchConfig.record_footprints``); the verdict can only change if
+    #: one of these methods — or a summary they depend on — changes.
+    footprint: Optional[frozenset] = None
 
     @property
     def refuted(self) -> bool:

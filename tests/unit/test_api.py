@@ -4,7 +4,15 @@ import warnings
 
 import pytest
 
-from repro.api import CLIENTS, AnalysisRequest, AnalysisResult, analyze
+from repro.api import (
+    CLIENTS,
+    SCHEMA_VERSION,
+    SELECTORS,
+    AnalysisRequest,
+    AnalysisResult,
+    analyze,
+    validate_selectors,
+)
 from repro.clients import (
     POSSIBLY_UNSAFE,
     analyze_casts,
@@ -181,6 +189,174 @@ class TestFacade:
         assert repro.api.analyze is analyze
         # The historical export is untouched: repro.analyze is points-to.
         assert repro.analyze is pointsto_analyze
+
+
+#: One wire-legal request per client, used by the round-trip tests.
+WIRE_REQUESTS = {
+    "casts": AnalysisRequest(client="casts", source=CAST_SAFE),
+    "immutability": AnalysisRequest(
+        client="immutability", source=IMMUTABLE_SRC, class_name="Point"
+    ),
+    "encapsulation": AnalysisRequest(
+        client="encapsulation",
+        source=LEAKED_REP_SRC,
+        owner_class="Owner",
+        field_name="rep",
+    ),
+    "reachability": AnalysisRequest(
+        client="reachability",
+        source=REACH_VERIFIED_SRC,
+        root_class="M",
+        root_field="pub",
+        target_class="Secret",
+        jobs=2,
+        budget=5_000,
+    ),
+}
+
+
+class TestWireSchema:
+    """`AnalysisRequest.to_dict()`/`from_dict()` — the serve daemon's v1
+    request schema — and `AnalysisResult.to_dict()`."""
+
+    @pytest.mark.parametrize("client", sorted(WIRE_REQUESTS))
+    def test_round_trip_all_four_clients(self, client):
+        import json
+
+        request = WIRE_REQUESTS[client]
+        wire = request.to_dict()
+        assert wire["schema_version"] == SCHEMA_VERSION
+        # Everything on the wire is JSON-serializable as-is.
+        rebuilt = AnalysisRequest.from_dict(json.loads(json.dumps(wire)))
+        assert rebuilt == request
+        # And idempotent: a second trip is byte-identical.
+        assert rebuilt.to_dict() == wire
+
+    def test_round_tripped_request_analyzes_identically(self):
+        request = WIRE_REQUESTS["casts"]
+        direct = analyze(request)
+        rebuilt = analyze(AnalysisRequest.from_dict(request.to_dict()))
+        assert direct.status == rebuilt.status
+        stats_a, stats_b = direct.stats.to_dict(), rebuilt.stats.to_dict()
+        stats_a.pop("seconds"), stats_b.pop("seconds")
+        assert stats_a == stats_b
+
+    def test_local_only_fields_refuse_to_serialize(self):
+        program = compile_program(CAST_SAFE)
+        with pytest.raises(ValueError, match="program=.*cannot cross the wire"):
+            AnalysisRequest(client="casts", program=program).to_dict()
+        with pytest.raises(ValueError, match="pta=.*cannot cross the wire"):
+            AnalysisRequest(client="casts", pta=pta_of(CAST_SAFE)).to_dict()
+        with pytest.raises(ValueError, match="on_event="):
+            AnalysisRequest(
+                client="casts", source=CAST_SAFE, on_event=lambda e: None
+            ).to_dict()
+
+    def test_from_dict_rejects_unknown_fields_helpfully(self):
+        with pytest.raises(
+            ValueError, match=r"unknown AnalysisRequest field\(s\) sauce"
+        ) as err:
+            AnalysisRequest.from_dict(
+                {"client": "casts", "sauce": CAST_SAFE}
+            )
+        # The error teaches the accepted schema.
+        assert "source" in str(err.value) and "budget" in str(err.value)
+
+    def test_from_dict_rejects_wrong_schema_version(self):
+        with pytest.raises(ValueError, match="unsupported schema_version 99"):
+            AnalysisRequest.from_dict(
+                {"client": "casts", "source": CAST_SAFE, "schema_version": 99}
+            )
+
+    def test_from_dict_requires_client(self):
+        with pytest.raises(ValueError, match="needs client="):
+            AnalysisRequest.from_dict({"source": CAST_SAFE})
+
+    def test_from_dict_rejects_non_dict(self):
+        with pytest.raises(ValueError, match="needs a dict, got list"):
+            AnalysisRequest.from_dict(["casts"])
+
+    def test_result_to_dict_shape(self):
+        result = analyze(WIRE_REQUESTS["reachability"])
+        wire = result.to_dict()
+        assert wire["schema_version"] == SCHEMA_VERSION
+        assert wire["client"] == "reachability"
+        assert wire["verified"] is True and wire["status"] == "verified"
+        assert wire["stats"] == result.stats.to_dict()
+        assert isinstance(wire["results"], list) and wire["results"]
+        assert all("description" in r for r in wire["results"])
+        assert wire["report"]["command"] == "reachability"
+
+
+class TestSelectorValidation:
+    """The per-client selector table: misapplied selectors raise before
+    any pipeline work instead of being silently ignored."""
+
+    def test_table_covers_all_clients(self):
+        assert set(SELECTORS) == set(CLIENTS)
+
+    def test_casts_takes_no_selectors(self):
+        with pytest.raises(
+            ValueError, match="class_name=.*'casts'.*takes no selectors"
+        ):
+            analyze(client="casts", source=CAST_SAFE, class_name="A")
+
+    def test_immutability_rejects_reachability_selectors(self):
+        with pytest.raises(
+            ValueError, match="root_class=.*'immutability'.*accepts class_name="
+        ):
+            analyze(
+                client="immutability",
+                source=IMMUTABLE_SRC,
+                class_name="Point",
+                root_class="M",
+            )
+
+    def test_encapsulation_missing_fields_spelled_out(self):
+        with pytest.raises(ValueError, match="needs field_name="):
+            analyze(
+                client="encapsulation",
+                source=LEAKED_REP_SRC,
+                owner_class="Owner",
+            )
+
+    def test_reachability_site_and_triple_conflict(self):
+        with pytest.raises(ValueError, match="not both"):
+            analyze(
+                client="reachability",
+                source=REACH_VERIFIED_SRC,
+                site="secret0",
+                root_class="M",
+                root_field="pub",
+                target_class="Secret",
+            )
+
+    def test_reachability_partial_triple(self):
+        with pytest.raises(
+            ValueError, match="site= or all of root_class=, root_field="
+        ):
+            analyze(
+                client="reachability",
+                source=REACH_VERIFIED_SRC,
+                root_class="M",
+            )
+
+    def test_validate_selectors_is_pure_precheck(self):
+        # Validation never needs the program: a bogus selector fails even
+        # with no program input at all.
+        with pytest.raises(ValueError, match="do not apply"):
+            validate_selectors(AnalysisRequest(client="casts", site="x"))
+
+    def test_over_specified_program_input(self):
+        program = compile_program(CAST_SAFE)
+        with pytest.raises(
+            ValueError, match="exactly one of source=, program=, or pta=; got"
+        ):
+            analyze(
+                AnalysisRequest(
+                    client="casts", source=CAST_SAFE, program=program
+                )
+            )
 
 
 class TestParityWithLegacyEntryPoints:

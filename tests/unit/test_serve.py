@@ -1,0 +1,386 @@
+"""Unit tests for the serve daemon's building blocks: the wire protocol,
+edit diffing/grafting (:mod:`repro.serve.invalidation`), the staleness
+rules, and the per-class source splicer."""
+
+import json
+
+import pytest
+
+from repro.ir import compile_program
+from repro.ir import instructions as ins
+from repro.ir.stmts import walk_commands
+from repro.pointsto import analyze as pointsto_analyze
+from repro.pointsto.incremental import DeltaReport
+from repro.pointsto.modref import RefSet
+from repro.serve.invalidation import (
+    body_fingerprint,
+    fact_multiset,
+    graft_method,
+    is_additive,
+    method_fingerprints,
+    program_signature,
+    stable_edge_token,
+    stable_site_tokens,
+    verdict_is_stale,
+)
+from repro.serve.protocol import (
+    OPS,
+    SCHEMA_VERSION,
+    ProtocolError,
+    encode,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from repro.serve.session import split_classes, splice_classes
+
+BASE_SRC = """
+class Item { }
+class Registry { static Item hold; }
+class A {
+    int pad;
+    Item make() { Item o = new Item(); return o; }
+    void go() { this.pad = this.pad + 1; Item o = this.make(); }
+}
+class M { static void main() { A a = new A(); a.go(); } }
+"""
+
+
+# ---------------------------------------------------------------------------
+# Protocol envelopes
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_parse_round_trip(self):
+        request = parse_request(
+            json.dumps(
+                {
+                    "id": 7,
+                    "op": "analyze",
+                    "params": {"client": "casts"},
+                    "schema_version": SCHEMA_VERSION,
+                }
+            )
+        )
+        assert request.op == "analyze"
+        assert request.id == 7
+        assert request.params == {"client": "casts"}
+
+    def test_schema_version_defaults_and_rejects(self):
+        assert parse_request('{"op": "status"}').op == "status"
+        with pytest.raises(ProtocolError, match="schema_version 2"):
+            parse_request('{"op": "status", "schema_version": 2}')
+
+    def test_bad_json_and_bad_shapes(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            parse_request("{nope")
+        with pytest.raises(ProtocolError, match="JSON object"):
+            parse_request('["analyze"]')
+        with pytest.raises(ProtocolError, match="params must be a JSON object"):
+            parse_request('{"op": "analyze", "params": ["casts"]}')
+
+    def test_unknown_op_and_envelope_fields(self):
+        with pytest.raises(ProtocolError, match="unknown op 'frobnicate'"):
+            parse_request('{"op": "frobnicate"}')
+        with pytest.raises(ProtocolError, match="unknown request field"):
+            parse_request('{"op": "status", "payload": {}}')
+        # The op error names every accepted op.
+        with pytest.raises(ProtocolError, match=", ".join(OPS)):
+            parse_request('{"op": "nope"}')
+
+    def test_response_shapes(self):
+        ok = ok_response(3, {"x": 1}, {"seconds": 0.1})
+        assert ok["ok"] and ok["id"] == 3
+        assert ok["schema_version"] == SCHEMA_VERSION
+        err = error_response(3, ValueError("boom"))
+        assert not err["ok"]
+        assert err["error"] == {"type": "ValueError", "message": "boom"}
+        # Envelopes encode deterministically (sorted keys).
+        assert encode(ok) == json.dumps(ok, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Edit diffing: fingerprints, signatures, additivity
+# ---------------------------------------------------------------------------
+
+
+class TestDiffing:
+    def test_fingerprints_ignore_sites_and_positions(self):
+        # Two builds of the same source disagree on AllocSite ids and
+        # SourcePositions; fingerprints and signature must not.
+        a = compile_program(BASE_SRC)
+        b = compile_program("\n\n" + BASE_SRC)  # every position shifted
+        assert method_fingerprints(a) == method_fingerprints(b)
+        assert program_signature(a) == program_signature(b)
+
+    def test_fingerprint_sees_body_edits(self):
+        a = compile_program(BASE_SRC)
+        b = compile_program(BASE_SRC.replace("this.pad + 1", "this.pad + 2"))
+        prints_a, prints_b = method_fingerprints(a), method_fingerprints(b)
+        changed = [q for q in prints_a if prints_a[q] != prints_b.get(q)]
+        assert changed == ["A.go"]
+        assert program_signature(a) == program_signature(b)
+
+    def test_signature_sees_declaration_edits(self):
+        a = compile_program(BASE_SRC)
+        b = compile_program(BASE_SRC.replace("int pad;", "int pad; int extra;"))
+        assert program_signature(a) != program_signature(b)
+
+    def test_statement_insertion_is_additive(self):
+        a = compile_program(BASE_SRC)
+        b = compile_program(
+            BASE_SRC.replace(
+                "this.pad = this.pad + 1;",
+                "this.pad = this.pad + 1; this.pad = this.pad + 1;",
+            )
+        )
+        assert is_additive(a.methods["A.go"], b.methods["A.go"])
+
+    def test_additivity_survives_temp_renumbering(self):
+        # Inserting a call renumbers every later builder temp ($tN); the
+        # fact multiset must still see the old commands as preserved.
+        a = compile_program(BASE_SRC)
+        b = compile_program(
+            BASE_SRC.replace(
+                "void go() {", "void go() { Item extra = this.make();"
+            )
+        )
+        old, new = a.methods["A.go"], b.methods["A.go"]
+        assert is_additive(old, new)
+        # ...and the erasure really was load-bearing: raw strings differ.
+        assert {str(c) for c in walk_commands(old.body)} - {
+            str(c) for c in walk_commands(new.body)
+        }
+
+    def test_deletion_is_not_additive(self):
+        a = compile_program(BASE_SRC)
+        b = compile_program(
+            BASE_SRC.replace("this.pad = this.pad + 1; ", "")
+        )
+        assert not is_additive(a.methods["A.go"], b.methods["A.go"])
+        # Multiset, not set: dropping one of two identical stores is a
+        # deletion too.
+        c = compile_program(
+            BASE_SRC.replace(
+                "this.pad = this.pad + 1;",
+                "this.pad = this.pad + 1; this.pad = this.pad + 1;",
+            )
+        )
+        assert not is_additive(c.methods["A.go"], a.methods["A.go"])
+        assert sum(fact_multiset(c.methods["A.go"]).values()) > sum(
+            fact_multiset(a.methods["A.go"]).values()
+        )
+
+    def test_body_fingerprint_sees_structure(self):
+        a = compile_program(BASE_SRC)
+        b = compile_program(
+            BASE_SRC.replace(
+                "this.pad = this.pad + 1;",
+                "if (nondet()) { this.pad = this.pad + 1; }",
+            )
+        )
+        assert body_fingerprint(a.methods["A.go"]) != body_fingerprint(
+            b.methods["A.go"]
+        )
+
+
+# ---------------------------------------------------------------------------
+# Grafting
+# ---------------------------------------------------------------------------
+
+
+class TestGrafting:
+    def test_graft_preserves_matched_sites_and_other_labels(self):
+        program = compile_program(BASE_SRC)
+        old_make_sites = [
+            cmd.site
+            for cmd in walk_commands(program.methods["A.make"].body)
+            if isinstance(cmd, ins.New)
+        ]
+        go_labels_before = {
+            label
+            for label in program.commands
+            if program.method_of_label(label).qualified_name == "A.go"
+        }
+        edited = compile_program(
+            BASE_SRC.replace(
+                "Item o = new Item(); return o;",
+                "Item o = new Item(); this.pad = 0; return o;",
+            )
+        )
+        graft_method(program, edited.methods["A.make"])
+        new_make_sites = [
+            cmd.site
+            for cmd in walk_commands(program.methods["A.make"].body)
+            if isinstance(cmd, ins.New)
+        ]
+        # The matched allocation keeps the *old* site object identity.
+        assert new_make_sites == old_make_sites
+        assert new_make_sites[0] is old_make_sites[0]
+        # Untouched methods keep their labels.
+        assert go_labels_before
+        assert go_labels_before <= set(program.commands)
+        for label in go_labels_before:
+            assert program.method_of_label(label).qualified_name == "A.go"
+
+    def test_graft_mints_fresh_sites_for_new_allocations(self):
+        program = compile_program(BASE_SRC)
+        max_id_before = max(s.site_id for s in program.alloc_sites)
+        n_sites_before = len(program.alloc_sites)
+        edited = compile_program(
+            BASE_SRC.replace(
+                "Item o = this.make();",
+                "Item o = this.make(); Item p = new Item();",
+            )
+        )
+        graft_method(program, edited.methods["A.go"])
+        fresh = [s for s in program.alloc_sites if s.site_id > max_id_before]
+        assert len(fresh) == 1 and fresh[0].class_name == "Item"
+        assert len(program.alloc_sites) == n_sites_before + 1
+
+    def test_grafted_program_matches_cold_build_tokens(self):
+        # After grafting, stable site tokens equal a cold build of the
+        # edited source — the property the byte-identical payload needs.
+        program = compile_program(BASE_SRC)
+        edited_src = BASE_SRC.replace(
+            "Item o = this.make();",
+            "Item o = this.make(); Item p = new Item();",
+        )
+        graft_method(
+            program, compile_program(edited_src).methods["A.go"]
+        )
+        grafted_tokens = sorted(stable_site_tokens(program).values())
+        cold_tokens = sorted(
+            stable_site_tokens(compile_program(edited_src)).values()
+        )
+        assert grafted_tokens == cold_tokens
+
+
+# ---------------------------------------------------------------------------
+# Stable descriptors
+# ---------------------------------------------------------------------------
+
+
+class TestStableTokens:
+    def test_tokens_are_build_independent(self):
+        a = compile_program(BASE_SRC)
+        b = compile_program("\n\n" + BASE_SRC)
+        assert sorted(stable_site_tokens(a).values()) == sorted(
+            stable_site_tokens(b).values()
+        )
+
+    def test_edge_token_renders_through_tokens(self):
+        # BASE_SRC never stores into Registry.hold; add the store so the
+        # producer map has a static edge to render.
+        src = BASE_SRC.replace(
+            "Item o = this.make();", "Item o = this.make(); Registry.hold = o;"
+        )
+        pta = pointsto_analyze(compile_program(src))
+        tokens = stable_site_tokens(pta.program)
+        keys = list(pta.producers)
+        assert keys
+        rendered = {stable_edge_token(k, tokens) for k in keys}
+        static_keys = [k for k in keys if k[0] == "static"]
+        assert static_keys, "Registry.hold edge expected"
+        assert any(r.startswith("Registry.hold -> ") for r in rendered)
+        # No builder-assigned site ids leak into the tokens.
+        assert all("#" in r for r in rendered)
+
+
+# ---------------------------------------------------------------------------
+# Staleness rules (pure-function truth table)
+# ---------------------------------------------------------------------------
+
+
+def _delta(methods=(), fields=(), statics=(), points=1):
+    return DeltaReport(
+        changed_methods=frozenset(),
+        grown_methods=frozenset(methods),
+        grown_fields=frozenset(fields),
+        grown_statics=frozenset(statics),
+        new_points=points,
+    )
+
+
+class _FakeModref:
+    def __init__(self, refs):
+        self._refs = refs
+
+    def footprint_refs(self, qnames):
+        return self._refs
+
+
+class TestStaleness:
+    FP = frozenset({"A.go", "A.make"})
+    SIGS = {"A.go": ("sig",), "A.make": ("sig",)}
+
+    def _stale(self, **kw):
+        return verdict_is_stale(
+            kw.get("footprint", self.FP),
+            kw.get("changed", frozenset({"M.main"})),
+            kw.get("sigs_before", self.SIGS),
+            kw.get("sigs_after", self.SIGS),
+            _FakeModref(kw.get("refs", RefSet())),
+            kw.get("delta", _delta(points=0)),
+        )
+
+    def test_no_footprint_means_stale(self):
+        assert self._stale(footprint=None)
+
+    def test_untouched_verdict_survives(self):
+        assert not self._stale()
+
+    def test_changed_method_in_footprint(self):
+        assert self._stale(changed=frozenset({"A.make"}))
+
+    def test_summary_signature_change(self):
+        assert self._stale(sigs_after={**self.SIGS, "A.make": ("other",)})
+
+    def test_points_to_growth_in_footprint_method(self):
+        assert self._stale(delta=_delta(methods={"A.go"}))
+
+    def test_growth_in_read_field(self):
+        refs = RefSet(fields={"hold"})
+        assert self._stale(delta=_delta(fields={"hold"}), refs=refs)
+        assert not self._stale(delta=_delta(fields={"other"}), refs=refs)
+
+    def test_growth_in_read_static(self):
+        refs = RefSet(statics={("Registry", "hold")})
+        assert self._stale(
+            delta=_delta(statics={("Registry", "hold")}), refs=refs
+        )
+
+    def test_unknown_reads_force_staleness_only_on_growth(self):
+        refs = RefSet(reads_unknown=True)
+        assert self._stale(delta=_delta(points=3), refs=refs)
+        assert not self._stale(delta=_delta(points=0), refs=refs)
+
+
+# ---------------------------------------------------------------------------
+# Per-class splicing
+# ---------------------------------------------------------------------------
+
+
+class TestSplicing:
+    def test_split_finds_every_class(self):
+        classes = split_classes(BASE_SRC)
+        assert set(classes) == {"Item", "Registry", "A", "M"}
+        assert classes["A"].startswith("class A {")
+        assert classes["A"].rstrip().endswith("}")
+
+    def test_splice_replaces_only_named_class(self):
+        replacement = split_classes(BASE_SRC)["A"].replace(
+            "this.pad + 1", "this.pad + 2"
+        )
+        spliced = splice_classes(BASE_SRC, {"A": replacement})
+        assert "this.pad + 2" in spliced
+        assert spliced.count("class A {") == 1
+        # Everything else untouched.
+        assert split_classes(spliced)["M"] == split_classes(BASE_SRC)["M"]
+        # And the spliced source still compiles.
+        compile_program(spliced)
+
+    def test_splice_unknown_class_raises(self):
+        with pytest.raises(ValueError, match="Nope.*full source= update"):
+            splice_classes(BASE_SRC, {"Nope": "class Nope { }"})
