@@ -80,6 +80,9 @@ _WIRE_FIELDS = (
     "partition",
     "backend",
     "journal",
+    "schedule",
+    "portfolio",
+    "steal",
 )
 
 
@@ -125,6 +128,14 @@ class AnalysisRequest:
     #: result (``result.journal``, ``result.certificate(desc)``). If a
     #: journal is already installed process-wide it is reused.
     journal: bool = False
+    #: Scheduling knobs (repro.engine.schedule): ``None``/``False`` keep
+    #: the config's values. ``schedule`` selects the worklist/dispatch
+    #: policy ("lifo" or "priority"), ``portfolio`` enables cheap-first
+    #: budget rungs (CLI --portfolio), ``steal`` enables path-level work
+    #: stealing on the thread backend (CLI --steal).
+    schedule: Optional[str] = None
+    portfolio: bool = False
+    steal: bool = False
     config: Optional[SearchConfig] = None
     on_event: Optional[Callable[[object], None]] = None
 
@@ -275,6 +286,12 @@ def _resolve_config(request: AnalysisRequest) -> SearchConfig:
         config = config.copy(state_subsumption=request.subsumption)
     if request.partition is not None:
         config = config.copy(partition_solver=request.partition)
+    if request.schedule is not None:
+        config = config.copy(schedule=request.schedule)
+    if request.portfolio:
+        config = config.copy(portfolio=True)
+    if request.steal:
+        config = config.copy(work_stealing=True)
     return config
 
 

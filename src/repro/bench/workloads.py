@@ -237,6 +237,102 @@ def lifecycle_edit(source: str, screen: int = 0) -> str:
     return source.replace(marker, f"this.pad = this.pad + 1; {marker}")
 
 
+def mixed_app(
+    easy: int,
+    hard: int,
+    easy_branches: int = 2,
+    hard_branches: int = 10,
+) -> str:
+    """The scheduling benchmark's workload: ``easy`` cheap screens plus
+    ``hard`` expensive ones, every edge refutable (no witnesses), with the
+    hard screens *last* in program order.
+
+    Each screen is an independent :func:`lifecycle_app`-style component
+    whose store guard sits behind ``branches`` nondeterministic updates
+    with an unreachable bound, so per-edge search cost scales with the
+    branch count while every verdict stays REFUTED — verdicts are
+    schedule-, portfolio-, and steal-independent by construction (the
+    path-program budget, not wall clock, bounds each search). Putting the
+    hard screens at the tail gives naive FIFO dispatch its worst case:
+    the tail serializes on the expensive edges exactly when the pool has
+    nothing left to overlap them with — the shape cheap-first priorities,
+    portfolio rungs, and work stealing each attack."""
+    counts = [easy_branches] * easy + [hard_branches] * hard
+    classes = ["class Thing { }", "class Registry { static Thing hold; }"]
+    main_lines = []
+    for i, branches in enumerate(counts):
+        bound = 3 * branches  # unreachable: each step adds <= 2
+        lines = ["        int x = 0;"]
+        lines.extend(
+            "        if (nondet()) { x = x + 1; } else { x = x + 2; }"
+            for _ in range(branches)
+        )
+        body = "\n".join(lines)
+        classes.append(
+            f"""
+class Mix{i} extends Thing {{ }}
+class Job{i} {{
+    Thing make() {{ Thing o = new Mix{i}(); return o; }}
+    void run() {{
+        Thing o = this.make();
+{body}
+        if (x > {bound}) {{ Registry.hold = o; }}
+    }}
+}}"""
+        )
+        main_lines.append(f"        Job{i} j{i} = new Job{i}(); j{i}.run();")
+    body = "\n".join(main_lines)
+    classes.append(f"class M {{\n    static void main() {{\n{body}\n    }}\n}}")
+    return "\n".join(classes)
+
+
+def layered_app(n: int, hard_branches: int = 10) -> str:
+    """Two-edge heap paths with the *expensive* edge first: the
+    cheap-first portfolio's best case.
+
+    Each job stores a fresh ``Holder`` into ``Registry.hold`` behind
+    ``hard_branches`` nondeterministic updates with an unreachable bound
+    (expensive to refute — the search must exhaust the branch tree), and
+    stores an ``Item`` into the holder behind a constant-false guard
+    (refuted in a handful of path programs). Every reachability path
+    ``Registry.hold -> holderN0 -> itemN0`` therefore breaks at either
+    edge, but the fixed Section 2 walk pays the expensive first edge,
+    while the portfolio's path-level rung ladder refutes the cheap
+    second edge at the small budget rung and never escalates the
+    expensive one. All verdicts are REFUTED by construction, so client
+    outcomes are schedule- and portfolio-independent."""
+    classes = [
+        "class Item { }",
+        "class Holder { Item item; }",
+        "class Registry { static Holder hold; }",
+    ]
+    main_lines = []
+    for i in range(n):
+        bound = 3 * hard_branches  # unreachable: each step adds <= 2
+        branch_lines = "\n".join(
+            "        if (nondet()) { x = x + 1; } else { x = x + 2; }"
+            for _ in range(hard_branches)
+        )
+        classes.append(
+            f"""
+class Job{i} {{
+    void run() {{
+        Holder h = new Holder();
+        Item it = new Item();
+        int g = 0;
+        if (g > 0) {{ h.item = it; }}
+        int x = 0;
+{branch_lines}
+        if (x > {bound}) {{ Registry.hold = h; }}
+    }}
+}}"""
+        )
+        main_lines.append(f"        Job{i} j{i} = new Job{i}(); j{i}.run();")
+    body = "\n".join(main_lines)
+    classes.append(f"class M {{\n    static void main() {{\n{body}\n    }}\n}}")
+    return "\n".join(classes)
+
+
 def container_app(n_activities: int) -> str:
     """``n`` activities each pushing themselves into local Vecs — the
     Figure 1 pattern replicated, stressing the null-object refutations."""

@@ -145,12 +145,44 @@ def _add_driver_flags(parser: argparse.ArgumentParser) -> None:
         metavar="FILE",
         help="write the per-query search journal (JSONL) for 'thresher explain'",
     )
+    parser.add_argument(
+        "--schedule",
+        choices=["lifo", "priority"],
+        default=None,
+        help=(
+            "search scheduling policy: 'lifo' (the paper's DFS, default) or"
+            " 'priority' (cost-model cheapest-first job dispatch and"
+            " best-first worklist)"
+        ),
+    )
+    parser.add_argument(
+        "--portfolio",
+        action="store_true",
+        help=(
+            "cheap-first portfolio: run every job at a small budget rung"
+            " first, escalating only the survivors (same final verdicts)"
+        ),
+    )
+    parser.add_argument(
+        "--steal",
+        action="store_true",
+        help=(
+            "path-level work stealing (--jobs N, thread backend): drained"
+            " workers steal unexplored subtrees from in-flight searches"
+        ),
+    )
 
 
 def _search_config(args, **overrides):
     """Build a SearchConfig from the shared perf flags plus overrides."""
     from .symbolic import SearchConfig
 
+    if getattr(args, "schedule", None):
+        overrides.setdefault("schedule", args.schedule)
+    if getattr(args, "portfolio", False):
+        overrides.setdefault("portfolio", True)
+    if getattr(args, "steal", False):
+        overrides.setdefault("work_stealing", True)
     return SearchConfig(
         memoize_solver=not getattr(args, "no_memo", False),
         state_subsumption=not getattr(args, "no_subsumption", False),
@@ -233,8 +265,13 @@ def main(argv: list[str] | None = None) -> int:
         help="edge/fact description to explain (substring match)",
     )
     p_explain.add_argument(
-        "--status", choices=["refuted", "witnessed", "timeout"], default=None,
-        help="explain the first record with this verdict instead of --edge",
+        "--status", nargs="?", const="run",
+        choices=["run", "refuted", "witnessed", "timeout"], default=None,
+        help=(
+            "with a verdict: explain the first record with that verdict"
+            " instead of --edge; bare --status: print the run-level status"
+            " (verdict summary + scheduling/per-rung table) and exit"
+        ),
     )
     p_explain.add_argument(
         "--dot", default=None, metavar="FILE",
@@ -524,6 +561,17 @@ def _cmd_explain(args) -> int:
             extra = f", {kills} dead branch(es)" if kills else ""
             print(f"{record.status:9s} {record.description}{extra}")
         _print_cache_tiers(report.cache)
+        _print_sched_table(report.schedule)
+        return 0
+    if args.status == "run":
+        print(
+            f"{report.command or 'run'}: {len(report.records)} job(s) —"
+            f" {report.edges_refuted} refuted, {report.edges_witnessed}"
+            f" witnessed, {report.edge_timeouts} timeout"
+            f" ({report.wall_seconds:.2f}s wall, jobs={report.jobs},"
+            f" backend={report.backend})"
+        )
+        _print_sched_table(report.schedule)
         return 0
     record = _pick_record(report, args.edge, args.status)
     if record is None:
@@ -582,6 +630,37 @@ def _print_cache_tiers(cache: dict) -> None:
     print(f"  whole-query memo hits  {tiers.get('whole_query_memo_hits', 0):>8}")
     print(f"  syntactic UNSAT        {tiers.get('fastpath_unsat', 0):>8}")
     print(f"  decisions actually run {tiers.get('decisions', 0):>8}")
+
+
+def _print_sched_table(schedule: dict) -> None:
+    """The run's scheduling behavior, from the report's ``schedule``
+    section: active policy/toggles, one row per portfolio rung (jobs
+    scheduled / resolved / carried over at each budget), and the steal /
+    priority-inversion counters."""
+    if not schedule:
+        return
+    print(
+        f"scheduling: policy={schedule.get('policy', 'lifo')}"
+        f" portfolio={'on' if schedule.get('portfolio') else 'off'}"
+        f" stealing={'on' if schedule.get('work_stealing') else 'off'}"
+    )
+    rungs = schedule.get("rungs") or []
+    if rungs:
+        print("  rung   budget  deadline  scheduled  resolved  carryover")
+        for row in rungs:
+            deadline = row.get("deadline")
+            print(
+                f"  {row.get('rung', 0):>4}"
+                f"  {row.get('budget', 0):>7}"
+                f"  {deadline if deadline is not None else '-':>8}"
+                f"  {row.get('scheduled', 0):>9}"
+                f"  {row.get('resolved', 0):>8}"
+                f"  {row.get('carryover', 0):>9}"
+            )
+    steals = schedule.get("steals", 0)
+    inversions = schedule.get("priority_inversions", 0)
+    if steals or inversions or schedule.get("work_stealing"):
+        print(f"  steals {steals}, priority inversions {inversions}")
 
 
 def _pick_record(report, edge: str | None, status: str | None):

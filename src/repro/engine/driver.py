@@ -54,6 +54,13 @@ from .events import (
     SpanFinished,
 )
 from .report import EdgeRecord, RunReport
+from .schedule import (
+    PRIORITY,
+    CostModel,
+    InversionMeter,
+    StealRegistry,
+    rung_ladder,
+)
 
 _CACHE_HITS = metrics.counter("driver.cache_hits")
 _JOBS_DONE = metrics.counter("driver.jobs_completed")
@@ -141,6 +148,19 @@ class RefutationDriver:
         #: Summed seconds per span name, fed by the active tracer (if any);
         #: flows into RunReport.phase_seconds and SpanFinished bus events.
         self._phase_seconds: dict[str, float] = {}
+        #: Scheduling state (repro.engine.schedule): the lazily-built cost
+        #: model for priority ordering, per-rung portfolio stats, the
+        #: priority-inversion count, and — thread backend with
+        #: ``config.work_stealing`` — the steal registry idle workers use
+        #: to assist in-flight searches.
+        self._cost: Optional[CostModel] = None
+        self._rungs: dict[int, dict] = {}
+        self._inversions = 0
+        self._steal_registry: Optional[StealRegistry] = (
+            StealRegistry()
+            if config.work_stealing and jobs > 1 and self.backend == THREAD
+            else None
+        )
         self._tracer = trace.get_tracer()
         if self._tracer is not None:
             self._tracer.add_sink(self._on_span)
@@ -287,16 +307,125 @@ class RefutationDriver:
             engine = Engine(
                 self.pta, self.config, refuted_cache=self.refuted_states
             )
+            if self._steal_registry is not None:
+                engine.steal_registry = self._steal_registry
             self._tls.engine = engine
             self._tls.name = f"thread-{worker_id}"
         return engine, self._tls.name
+
+    # ------------------------------------------------------------------
+    # Scheduling (repro.engine.schedule)
+    # ------------------------------------------------------------------
+
+    def _cost_model(self) -> CostModel:
+        if self._cost is None:
+            self._cost = CostModel(self.pta)
+        return self._cost
+
+    def _priority_order_edges(self, todo: list) -> list:
+        """Cheapest-first dispatch order under ``schedule == "priority"``
+        (stable, with the edge token as tiebreak); input order otherwise."""
+        if self.config.schedule != PRIORITY or len(todo) < 2:
+            return todo
+        model = self._cost_model()
+        return sorted(
+            todo, key=lambda kv: (model.edge_cost(kv[1]), str(kv[1]))
+        )
+
+    def _edge_meter(self, todo: list) -> Optional[InversionMeter]:
+        """Inversion accounting for one parallel batch (priority only)."""
+        if self.config.schedule != PRIORITY or len(todo) < 2:
+            return None
+        model = self._cost_model()
+        return InversionMeter(
+            {key: model.edge_cost(edge) for key, edge in todo}
+        )
+
+    def _rung_entry(self, rung_index: int, budget, deadline) -> dict:
+        """The (run-cumulative) stats row for one portfolio rung."""
+        with self._lock:
+            entry = self._rungs.get(rung_index)
+            if entry is None:
+                entry = {
+                    "rung": rung_index,
+                    "budget": (
+                        budget if budget is not None else self.config.path_budget
+                    ),
+                    "deadline": (
+                        deadline
+                        if deadline is not None
+                        else self.config.deadline_seconds
+                    ),
+                    "scheduled": 0,
+                    "resolved": 0,
+                    "carryover": 0,
+                }
+                self._rungs[rung_index] = entry
+            return entry
+
+    def _submit_helpers(self) -> list:
+        """Queue one steal-helper loop per pool slot *behind* the batch's
+        edge jobs: a worker only picks a helper up once no queued job
+        remains, i.e. exactly when it would otherwise idle through the
+        batch's tail. No-op unless work stealing is active."""
+        if self._steal_registry is None:
+            return []
+        self._steal_registry.reopen()
+        pool = self._get_pool()
+        return [pool.submit(self._steal_helper) for _ in range(self.jobs)]
+
+    def _drain_helpers(self, helpers: list) -> None:
+        if not helpers:
+            return
+        self._steal_registry.close()
+        for fut in helpers:
+            fut.result()
+
+    def _steal_helper(self) -> None:
+        """The idle-worker loop: assist the heaviest in-flight search
+        (stealing unexplored path-state subtrees from its shared
+        worklist) until the batch ends."""
+        engine, _worker = self._worker_engine()
+        registry = self._steal_registry
+        while True:
+            shard = registry.pick()
+            if shard is None:
+                return
+            engine.assist(shard)
+
+    def _schedule_section(self) -> dict:
+        """The run report's ``schedule`` section (see RunReport)."""
+        with self._lock:
+            rungs = [dict(self._rungs[i]) for i in sorted(self._rungs)]
+            inversions = self._inversions
+        return {
+            "policy": self.config.schedule,
+            "portfolio": self.config.portfolio,
+            "work_stealing": self.config.work_stealing,
+            "rungs": rungs,
+            "resolved_at_rung": {
+                str(r["rung"]): r["resolved"] for r in rungs
+            },
+            "steals": (
+                self._steal_registry.steals
+                if self._steal_registry is not None
+                else 0
+            ),
+            "priority_inversions": inversions,
+        }
 
     # ------------------------------------------------------------------
     # Edge refutation
     # ------------------------------------------------------------------
 
     def refute_edge(self, edge: HeapEdge) -> EdgeResult:
-        """Refute one edge inline (always serial; cache-aware)."""
+        """Refute one edge inline (always serial; cache-aware).
+
+        Under ``config.portfolio`` the inline job climbs the same
+        cheap-first rung ladder as a batch, so serial path walks (the
+        Section 2 loop) stage their budgets too; the final rung is the
+        full configured budget, so the verdict is unchanged.
+        """
         key = edge_key(edge)
         cached = self._cached(key)
         if cached is not None:
@@ -304,11 +433,38 @@ class RefutationDriver:
             with self._lock:
                 self.cache_hits += 1
             return cached
-        with self._job_span("edge", str(edge)):
-            result = self.engine.refute_edge(edge)
-        _JOBS_DONE.inc()
-        _JOB_SECONDS.observe(result.seconds)
+        if self.config.portfolio:
+            result = self._refute_edge_ladder(edge)
+        else:
+            with self._job_span("edge", str(edge)):
+                result = self.engine.refute_edge(edge)
+            _JOBS_DONE.inc()
+            _JOB_SECONDS.observe(result.seconds)
         self._store(key, edge, result, SERIAL)
+        return result
+
+    def _refute_edge_ladder(self, edge: HeapEdge) -> EdgeResult:
+        """One inline edge through the portfolio rungs (see
+        :meth:`_run_portfolio_edges` for the batch variant)."""
+        ladder = rung_ladder(self.config)
+        result = None
+        for rung_index, (budget, deadline) in enumerate(ladder):
+            final_rung = rung_index == len(ladder) - 1
+            stats = self._rung_entry(rung_index, budget, deadline)
+            stats["scheduled"] += 1
+            with self._job_span("edge", str(edge)):
+                result = self.engine.refute_edge(
+                    edge, budget=budget, deadline=deadline
+                )
+            _JOBS_DONE.inc()
+            _JOB_SECONDS.observe(result.seconds)
+            if result.timed_out and not final_rung:
+                stats["carryover"] += 1
+                continue
+            result.rung = rung_index
+            stats["resolved"] += 1
+            stats[result.status] = stats.get(result.status, 0) + 1
+            break
         return result
 
     def refute_edges(
@@ -338,6 +494,7 @@ class RefutationDriver:
                 results[key] = cached
             else:
                 todo.append((key, edge))
+        todo = self._priority_order_edges(todo)
         total = len(ordered)
         with self._timed_batch(total, self.jobs, self.backend, "edges") as outcomes:
             done = 0
@@ -347,7 +504,9 @@ class RefutationDriver:
                         str(edge), results[key], SERIAL, done, total, cached=True
                     )
                     done += 1
-            if self.jobs == 1 or len(todo) <= 1:
+            if self.config.portfolio and todo:
+                done = self._run_portfolio_edges(todo, results, done, total)
+            elif self.jobs == 1 or len(todo) <= 1:
                 for key, edge in todo:
                     with self._job_span("edge", str(edge)):
                         result = self.engine.refute_edge(edge)
@@ -372,6 +531,7 @@ class RefutationDriver:
         from concurrent.futures import as_completed
 
         pool = self._get_pool()
+        meter = self._edge_meter(todo)
         futures = {}
         for index, (key, edge) in enumerate(todo):
             self.events.emit(
@@ -382,19 +542,124 @@ class RefutationDriver:
             else:
                 fut = pool.submit(self._thread_refute_edge, edge)
             futures[fut] = (key, edge)
-        for fut in as_completed(futures):
-            key, edge = futures[fut]
-            result, worker = self._unpack(fut.result())
-            self._store(key, edge, result, worker)
-            results[key] = result
-            self._emit_finished(str(edge), result, worker, done, total)
-            done += 1
+        helpers = self._submit_helpers()
+        try:
+            for fut in as_completed(futures):
+                key, edge = futures[fut]
+                result, worker = self._unpack(fut.result())
+                if meter is not None:
+                    meter.complete(key)
+                self._store(key, edge, result, worker)
+                results[key] = result
+                self._emit_finished(str(edge), result, worker, done, total)
+                done += 1
+        finally:
+            self._drain_helpers(helpers)
+        if meter is not None:
+            with self._lock:
+                self._inversions += meter.inversions
         return done
 
-    def _thread_refute_edge(self, edge: HeapEdge) -> tuple[EdgeResult, str]:
+    def _run_portfolio_edges(
+        self,
+        todo: list[tuple[EdgeKey, HeapEdge]],
+        results: dict[EdgeKey, EdgeResult],
+        done: int,
+        total: int,
+    ) -> int:
+        """Cheap-first portfolio dispatch: run the batch at the first
+        (small) budget/deadline rung, then re-run only the TIMEOUT
+        survivors at each escalating rung. Re-runs are warm — the
+        refuted-state cache and solver memos persist across rungs. The
+        final rung is the full configured budget/deadline, so every edge
+        ends with exactly the verdict the fixed schedule would produce;
+        only the final verdict is recorded (with the rung that resolved
+        it), never the provisional carryover timeouts."""
+        ladder = rung_ladder(self.config)
+        pending = list(todo)
+        for rung_index, (budget, deadline) in enumerate(ladder):
+            final_rung = rung_index == len(ladder) - 1
+            attempts = self._run_rung_edges(
+                pending, budget, deadline, total
+            )
+            stats = self._rung_entry(rung_index, budget, deadline)
+            survivors: list[tuple[EdgeKey, HeapEdge]] = []
+            for (key, edge), (result, worker) in zip(pending, attempts):
+                stats["scheduled"] += 1
+                if result.timed_out and not final_rung:
+                    stats["carryover"] += 1
+                    survivors.append((key, edge))
+                    continue
+                result.rung = rung_index
+                stats["resolved"] += 1
+                stats[result.status] = stats.get(result.status, 0) + 1
+                self._store(key, edge, result, worker)
+                results[key] = result
+                self._emit_finished(str(edge), result, worker, done, total)
+                done += 1
+            pending = survivors
+            if not pending:
+                break
+        return done
+
+    def _run_rung_edges(
+        self,
+        pending: list[tuple[EdgeKey, HeapEdge]],
+        budget: Optional[int],
+        deadline: Optional[float],
+        total: int,
+    ) -> list[tuple[EdgeResult, str]]:
+        """One portfolio rung over ``pending``; results aligned with it."""
+        out: list = [None] * len(pending)
+        if self.jobs == 1 or len(pending) <= 1:
+            for slot, (key, edge) in enumerate(pending):
+                with self._job_span("edge", str(edge)):
+                    result = self.engine.refute_edge(
+                        edge, budget=budget, deadline=deadline
+                    )
+                _JOBS_DONE.inc()
+                _JOB_SECONDS.observe(result.seconds)
+                out[slot] = (result, SERIAL)
+            return out
+        from concurrent.futures import as_completed
+
+        pool = self._get_pool()
+        meter = self._edge_meter(pending)
+        futures = {}
+        for slot, (key, edge) in enumerate(pending):
+            self.events.emit(
+                EdgeScheduled(description=str(edge), index=slot, total=total)
+            )
+            if self.backend == PROCESS:
+                fut = pool.submit(_process_refute_edge, edge, budget, deadline)
+            else:
+                fut = pool.submit(
+                    self._thread_refute_edge, edge, budget, deadline
+                )
+            futures[fut] = slot
+        helpers = self._submit_helpers()
+        try:
+            for fut in as_completed(futures):
+                slot = futures[fut]
+                out[slot] = self._unpack(fut.result())
+                if meter is not None:
+                    meter.complete(pending[slot][0])
+        finally:
+            self._drain_helpers(helpers)
+        if meter is not None:
+            with self._lock:
+                self._inversions += meter.inversions
+        return out
+
+    def _thread_refute_edge(
+        self,
+        edge: HeapEdge,
+        budget: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> tuple[EdgeResult, str]:
         engine, worker = self._worker_engine()
         with self._job_span("edge", str(edge)):
-            result = engine.refute_edge(edge)
+            result = engine.refute_edge(edge, budget=budget, deadline=deadline)
         _JOBS_DONE.inc()
         _JOB_SECONDS.observe(result.seconds)
         return result, worker
@@ -411,7 +676,18 @@ class RefutationDriver:
         verdicts are program-wide facts that later paths and alarms reuse
         from the cache). Returns ``(edge, result)`` pairs for the edges
         actually examined, in path order.
+
+        Under ``config.portfolio`` the path runs the cheap-first rung
+        ladder *across* its edges: a path's verdict needs only one
+        refuted edge, so every edge tries the small budget rung first
+        and escalation stops as soon as any edge refutes — an expensive
+        edge is never run at full budget when a cheap path-mate already
+        broke the path. Edges left unresolved when the path breaks are
+        returned with their provisional TIMEOUT results and are neither
+        cached nor recorded (a later path can still resolve them).
         """
+        if self.config.portfolio:
+            return self._refute_path_portfolio(path)
         if self.jobs == 1:
             total = len(path)
             out = []
@@ -430,6 +706,71 @@ class RefutationDriver:
         results = self.refute_edges(path)
         return [(edge, results[edge_key(edge)]) for edge in path]
 
+    def _refute_path_portfolio(
+        self, path: Sequence[HeapEdge]
+    ) -> list[tuple[HeapEdge, EdgeResult]]:
+        """The cheap-first rung ladder across one path's edges (see
+        :meth:`refute_path`); works at any worker count — each rung's
+        batch fans out over the pool when ``jobs > 1``."""
+        ordered: list[tuple[EdgeKey, HeapEdge]] = []
+        seen: set[EdgeKey] = set()
+        for edge in path:
+            key = edge_key(edge)
+            if key not in seen:
+                seen.add(key)
+                ordered.append((key, edge))
+        results: dict[EdgeKey, EdgeResult] = {}
+        pending: list[tuple[EdgeKey, HeapEdge]] = []
+        for key, edge in ordered:
+            cached = self._cached(key)
+            if cached is not None:
+                _CACHE_HITS.inc()
+                with self._lock:
+                    self.cache_hits += 1
+                results[key] = cached
+            else:
+                pending.append((key, edge))
+        if self.config.schedule == PRIORITY:
+            pending = self._priority_order_edges(pending)
+        total = len(ordered)
+        ladder = rung_ladder(self.config)
+        provisional: dict[EdgeKey, EdgeResult] = {}
+        with self._timed_batch(total, self.jobs, self.backend, "path") as outcomes:
+            done = 0
+            broken = any(r.refuted for r in results.values())
+            for rung_index, (budget, deadline) in enumerate(ladder):
+                if broken or not pending:
+                    break
+                final_rung = rung_index == len(ladder) - 1
+                attempts = self._run_rung_edges(pending, budget, deadline, total)
+                stats = self._rung_entry(rung_index, budget, deadline)
+                survivors: list[tuple[EdgeKey, HeapEdge]] = []
+                for (key, edge), (result, worker) in zip(pending, attempts):
+                    stats["scheduled"] += 1
+                    if result.timed_out and not final_rung:
+                        stats["carryover"] += 1
+                        provisional[key] = result
+                        survivors.append((key, edge))
+                        continue
+                    result.rung = rung_index
+                    stats["resolved"] += 1
+                    stats[result.status] = stats.get(result.status, 0) + 1
+                    self._store(key, edge, result, worker)
+                    results[key] = result
+                    provisional.pop(key, None)
+                    self._emit_finished(str(edge), result, worker, done, total)
+                    done += 1
+                    if result.refuted:
+                        broken = True
+                pending = survivors
+            out = []
+            for key, edge in ordered:
+                result = results.get(key) or provisional.get(key)
+                if result is not None:
+                    out.append((edge, result))
+            outcomes.extend(r for _, r in out)
+        return out
+
     # ------------------------------------------------------------------
     # Fact refutation (the casts / immutability clients)
     # ------------------------------------------------------------------
@@ -439,13 +780,26 @@ class RefutationDriver:
 
         ``requests`` is a sequence of ``(label, bindings, description)``
         triples; results come back in request order regardless of the
-        completion order on the pool.
+        dispatch order (priority scheduling) or completion order on the
+        pool.
         """
         total = len(requests)
+        order = list(range(total))
+        if self.config.schedule == PRIORITY and total > 1:
+            model = self._cost_model()
+            costs = {
+                i: model.fact_cost(requests[i][0], requests[i][1])
+                for i in order
+            }
+            order.sort(key=lambda i: (costs[i], requests[i][2]))
         results: list[Optional[EdgeResult]] = [None] * total
         with self._timed_batch(total, self.jobs, self.backend, "facts") as outcomes:
-            if self.jobs == 1 or total <= 1:
-                for i, (label, bindings, description) in enumerate(requests):
+            if self.config.portfolio and requests:
+                self._run_portfolio_facts(requests, order, results, total)
+            elif self.jobs == 1 or total <= 1:
+                done = 0
+                for i in order:
+                    label, bindings, description = requests[i]
                     with self._job_span("fact", description):
                         result = self.engine.refute_fact_at(
                             label, bindings, description=description
@@ -454,13 +808,15 @@ class RefutationDriver:
                     _JOB_SECONDS.observe(result.seconds)
                     results[i] = result
                     self._record_fact(description, result, SERIAL)
-                    self._emit_finished(description, result, SERIAL, i, total)
+                    self._emit_finished(description, result, SERIAL, done, total)
+                    done += 1
             else:
                 from concurrent.futures import as_completed
 
                 pool = self._get_pool()
                 futures = {}
-                for i, (label, bindings, description) in enumerate(requests):
+                for i in order:
+                    label, bindings, description = requests[i]
                     self.events.emit(
                         EdgeScheduled(description=description, index=i, total=total)
                     )
@@ -473,25 +829,138 @@ class RefutationDriver:
                             self._thread_refute_fact, label, bindings, description
                         )
                     futures[fut] = i
+                helpers = self._submit_helpers()
                 done = 0
-                for fut in as_completed(futures):
-                    i = futures[fut]
-                    result, worker = self._unpack(fut.result())
-                    results[i] = result
-                    description = requests[i][2]
-                    self._record_fact(description, result, worker)
-                    self._emit_finished(description, result, worker, done, total)
-                    done += 1
+                try:
+                    for fut in as_completed(futures):
+                        i = futures[fut]
+                        result, worker = self._unpack(fut.result())
+                        results[i] = result
+                        description = requests[i][2]
+                        self._record_fact(description, result, worker)
+                        self._emit_finished(description, result, worker, done, total)
+                        done += 1
+                finally:
+                    self._drain_helpers(helpers)
             final = [r for r in results if r is not None]
             outcomes.extend(final)
         return final
 
+    def _run_portfolio_facts(
+        self,
+        requests: Sequence[FactJob],
+        order: list[int],
+        results: list[Optional[EdgeResult]],
+        total: int,
+    ) -> None:
+        """Portfolio rung loop over fact jobs (see
+        :meth:`_run_portfolio_edges`); fills ``results`` in place."""
+        ladder = rung_ladder(self.config)
+        pending = list(order)
+        done = 0
+        for rung_index, (budget, deadline) in enumerate(ladder):
+            final_rung = rung_index == len(ladder) - 1
+            attempts = self._run_rung_facts(
+                requests, pending, budget, deadline, total
+            )
+            stats = self._rung_entry(rung_index, budget, deadline)
+            survivors: list[int] = []
+            for i, (result, worker) in zip(pending, attempts):
+                stats["scheduled"] += 1
+                if result.timed_out and not final_rung:
+                    stats["carryover"] += 1
+                    survivors.append(i)
+                    continue
+                result.rung = rung_index
+                stats["resolved"] += 1
+                stats[result.status] = stats.get(result.status, 0) + 1
+                results[i] = result
+                description = requests[i][2]
+                self._record_fact(description, result, worker)
+                self._emit_finished(description, result, worker, done, total)
+                done += 1
+            pending = survivors
+            if not pending:
+                break
+
+    def _run_rung_facts(
+        self,
+        requests: Sequence[FactJob],
+        pending: list[int],
+        budget: Optional[int],
+        deadline: Optional[float],
+        total: int,
+    ) -> list[tuple[EdgeResult, str]]:
+        out: list = [None] * len(pending)
+        if self.jobs == 1 or len(pending) <= 1:
+            for slot, i in enumerate(pending):
+                label, bindings, description = requests[i]
+                with self._job_span("fact", description):
+                    result = self.engine.refute_fact_at(
+                        label,
+                        bindings,
+                        budget=budget,
+                        description=description,
+                        deadline=deadline,
+                    )
+                _JOBS_DONE.inc()
+                _JOB_SECONDS.observe(result.seconds)
+                out[slot] = (result, SERIAL)
+            return out
+        from concurrent.futures import as_completed
+
+        pool = self._get_pool()
+        futures = {}
+        for slot, i in enumerate(pending):
+            label, bindings, description = requests[i]
+            self.events.emit(
+                EdgeScheduled(description=description, index=slot, total=total)
+            )
+            if self.backend == PROCESS:
+                fut = pool.submit(
+                    _process_refute_fact,
+                    label,
+                    bindings,
+                    description,
+                    budget,
+                    deadline,
+                )
+            else:
+                fut = pool.submit(
+                    self._thread_refute_fact,
+                    label,
+                    bindings,
+                    description,
+                    budget,
+                    deadline,
+                )
+            futures[fut] = slot
+        helpers = self._submit_helpers()
+        try:
+            for fut in as_completed(futures):
+                slot = futures[fut]
+                out[slot] = self._unpack(fut.result())
+        finally:
+            self._drain_helpers(helpers)
+        return out
+
     def _thread_refute_fact(
-        self, label, bindings, description: str = "<fact>"
+        self,
+        label,
+        bindings,
+        description: str = "<fact>",
+        budget: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> tuple[EdgeResult, str]:
         engine, worker = self._worker_engine()
         with self._job_span("fact", description):
-            result = engine.refute_fact_at(label, bindings, description=description)
+            result = engine.refute_fact_at(
+                label,
+                bindings,
+                budget=budget,
+                description=description,
+                deadline=deadline,
+            )
         _JOBS_DONE.inc()
         _JOB_SECONDS.observe(result.seconds)
         return result, worker
@@ -605,7 +1074,10 @@ class RefutationDriver:
 
         The ``cache`` section merges this process's cache counters with the
         latest snapshot from each process-pool worker, and adds the shared
-        refuted-state store's size/hit statistics."""
+        refuted-state store's size/hit statistics. Records are sorted by a
+        stable job token (kind, then description) so reports are
+        byte-stable across ``--jobs``, backend, and schedule
+        permutations."""
         with self._lock:
             snapshots = list(self._worker_snapshots.values())
         cache = perf.cache_report(snapshots)
@@ -614,6 +1086,7 @@ class RefutationDriver:
         )
         cache["memoize_solver"] = self.config.memoize_solver
         cache["state_subsumption"] = self.config.state_subsumption
+        schedule = self._schedule_section()
         with self._lock:
             return RunReport(
                 app=app,
@@ -623,9 +1096,13 @@ class RefutationDriver:
                 deadline=self.config.deadline_seconds,
                 path_budget=self.config.path_budget,
                 wall_seconds=self._wall_seconds,
-                records=list(self._records.values())[since:],
+                records=sorted(
+                    list(self._records.values())[since:],
+                    key=lambda r: (r.kind, r.description),
+                ),
                 phase_seconds=dict(self._phase_seconds),
                 cache=cache,
+                schedule=schedule,
             )
 
 
@@ -666,19 +1143,27 @@ def _worker_obs_payload() -> dict:
     return obs
 
 
-def _process_refute_edge(edge: HeapEdge) -> tuple[EdgeResult, str, dict, dict]:
+def _process_refute_edge(
+    edge: HeapEdge,
+    budget: Optional[int] = None,
+    deadline: Optional[float] = None,
+) -> tuple[EdgeResult, str, dict, dict]:
     assert _PROCESS_ENGINE is not None
-    result = _PROCESS_ENGINE.refute_edge(edge)
+    result = _PROCESS_ENGINE.refute_edge(edge, budget=budget, deadline=deadline)
     worker = f"process-{os.getpid()}"
     return result, worker, perf.cache_stats_snapshot(), _worker_obs_payload()
 
 
 def _process_refute_fact(
-    label, bindings, description: str = "<fact>"
+    label,
+    bindings,
+    description: str = "<fact>",
+    budget: Optional[int] = None,
+    deadline: Optional[float] = None,
 ) -> tuple[EdgeResult, str, dict, dict]:
     assert _PROCESS_ENGINE is not None
     result = _PROCESS_ENGINE.refute_fact_at(
-        label, bindings, description=description
+        label, bindings, budget=budget, description=description, deadline=deadline
     )
     worker = f"process-{os.getpid()}"
     return result, worker, perf.cache_stats_snapshot(), _worker_obs_payload()

@@ -35,6 +35,9 @@ class EdgeRecord:
     #: Typed kill-reason counts from the search journal (empty unless a
     #: provenance journal was installed for the run).
     kill_reasons: dict = field(default_factory=dict)
+    #: Portfolio rung that resolved this job (0 = first/only rung; always
+    #: 0 outside ``--portfolio`` runs).
+    rung: int = 0
 
     @classmethod
     def from_result(
@@ -58,6 +61,7 @@ class EdgeRecord:
             if result.witness_trace is not None
             else None,
             kill_reasons=dict(result.kill_reasons),
+            rung=result.rung,
         )
 
 
@@ -81,6 +85,12 @@ class RunReport:
     #: merged across process-pool workers, plus the active toggle values.
     #: See :func:`repro.perf.cache_report`.
     cache: dict = field(default_factory=dict)
+    #: Scheduling behavior for the run: the active policy (``lifo`` /
+    #: ``priority``), portfolio/work-stealing toggles, per-rung resolution
+    #: stats (``rungs``: scheduled/resolved/carryover and verdict counts
+    #: per rung), ``resolved_at_rung`` rollup, ``steals``, and
+    #: ``priority_inversions``. See :mod:`repro.engine.schedule`.
+    schedule: dict = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
     # -- aggregates -----------------------------------------------------------
@@ -158,6 +168,7 @@ class RunReport:
             records=records,
             phase_seconds=data.get("phase_seconds", {}),
             cache=data.get("cache", {}),
+            schedule=data.get("schedule", {}),
             schema_version=data.get("schema_version", SCHEMA_VERSION),
         )
 

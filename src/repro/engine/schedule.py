@@ -1,0 +1,374 @@
+"""Adaptive search scheduling: cost-model priorities, cheap-first
+portfolio budgets, and path-level work stealing.
+
+Thresher's practicality rests on refuting the easy alarms fast so the
+expensive backwards searches don't dominate wall clock (the paper's own
+filter-then-refute pipeline is the same shape at the alarm level). This
+module holds the three cooperating pieces the driver and executor share:
+
+* :class:`CostModel` — a static, cheap estimate of how expensive one
+  refutation job (edge or fact) will be, computed from the solved
+  analysis only: producer count, per-method branchiness (``Choice``
+  forks are an exponential proxy, ``Loop``s pay invariant inference),
+  caller fan-in (backwards call exploration), and points-to fan-in of
+  the edge's source region (aliasing case splits). The driver sorts
+  batches cheapest-first under ``SearchConfig.schedule == "priority"``;
+  :func:`state_cost` is the per-path-state analogue the executor's
+  priority worklist uses.
+* :func:`rung_ladder` — the cheap-first portfolio schedule: every edge
+  runs at a small budget/deadline rung first and only survivors re-run
+  at escalating rungs (``SearchConfig.portfolio``), re-using the
+  refuted-state cache and solver memos across rungs so re-runs are warm.
+* :class:`SharedWorklist` / :class:`StealRegistry` — path-level work
+  stealing for the thread backend (``SearchConfig.work_stealing``): when
+  a worker's edge queue drains it joins the heaviest in-flight search,
+  stealing unexplored path-state subtrees from the shallow end of the
+  owner's deque while the owner keeps popping newest-first (its usual
+  DFS order).
+
+Nothing here decides verdicts: priorities and rungs only reorder and
+stage the same deterministic searches, and the final portfolio rung
+always runs at the full configured budget/deadline, so verdicts are
+bit-identical to the fixed-schedule run. Work stealing shares one
+budget across thieves, which can resolve searches that would otherwise
+time out (strictly more precise) — it is therefore its own toggle, off
+by default.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Optional
+
+from ..ir.stmts import Choice, Loop, walk_statements
+from ..obs import metrics
+from ..symbolic.config import SearchConfig
+
+_STEALS = metrics.counter("driver.steals")
+_INVERSIONS = metrics.counter("driver.priority_inversions")
+
+#: ``SearchConfig.schedule`` values.
+LIFO = "lifo"
+PRIORITY = "priority"
+
+
+def state_cost(state) -> int:
+    """Cheap priority key for one path state: smaller = explored first.
+
+    Constraint count plus symbolic-memory size — the two features that
+    track how much solver work and how many materialization case splits
+    a state can still generate. Deliberately O(constraints): the
+    priority worklist pays this on every push.
+    """
+    q = state.query
+    return len(q.pure) + q.memory_size()
+
+
+class CostModel:
+    """Static cost scores for refutation jobs, from the solved analysis.
+
+    Scores are effort *estimates* in arbitrary units — only their order
+    matters. Per-method scores are cached; scoring a batch of edges is
+    O(batch + touched methods).
+    """
+
+    #: Cap on the exponential ``Choice`` proxy (2^choices) so one huge
+    #: method cannot flatten the rest of the ordering into ties.
+    CHOICE_CAP = 12
+
+    def __init__(self, pta) -> None:
+        self.pta = pta
+        self.program = pta.program
+        self._method_cost: dict[str, int] = {}
+
+    def method_cost(self, qname: str) -> int:
+        """Search effort expected inside one method: exponential in its
+        nondeterministic forks, linear in its loops (invariant inference
+        passes) and its caller fan-in (backwards call exploration)."""
+        cached = self._method_cost.get(qname)
+        if cached is not None:
+            return cached
+        method = self.program.methods.get(qname)
+        if method is None:
+            cost = 1
+        else:
+            choices = 0
+            loops = 0
+            for stmt in walk_statements(method.body):
+                if isinstance(stmt, Choice):
+                    choices += 1
+                elif isinstance(stmt, Loop):
+                    loops += 1
+            cost = (1 << min(choices, self.CHOICE_CAP)) + 16 * loops
+            cost += len(self.pta.callers_of(qname))
+        self._method_cost[qname] = cost
+        return cost
+
+    def edge_cost(self, edge) -> int:
+        """Expected effort to refute one points-to edge: one search per
+        producer, each weighted by its method's cost, plus the points-to
+        fan-in of the edge's source region (alias case splits)."""
+        producers = self.pta.producers_of(edge)
+        cost = 1 + len(producers)
+        for label in producers:
+            qname = self.program.command_method.get(label)
+            if qname is not None:
+                cost += self.method_cost(qname)
+        cost += self._fan_in(edge)
+        return cost
+
+    def fact_cost(self, label: int, bindings) -> int:
+        """Expected effort for one :meth:`Engine.refute_fact_at` query:
+        the containing method's cost plus the sizes of the bound
+        points-to regions (larger regions = more instances to disalias)."""
+        qname = self.program.command_method.get(label)
+        cost = 1 if qname is None else 1 + self.method_cost(qname)
+        for _var, region in bindings:
+            cost += len(region) if region is not None else 1
+        return cost
+
+    def _fan_in(self, edge) -> int:
+        from ..pointsto.graph import StaticFieldNode
+
+        try:
+            if isinstance(edge.src, StaticFieldNode):
+                region = self.pta.pt_static(
+                    edge.src.class_name, edge.src.field_name
+                )
+            else:
+                region = self.pta.pt_field(edge.src, edge.field)
+        except Exception:
+            return 0
+        return len(region)
+
+
+def rung_ladder(
+    config: SearchConfig,
+) -> list[tuple[Optional[int], Optional[float]]]:
+    """The portfolio's ``(budget, deadline)`` rungs, cheapest first.
+
+    Each divisor in ``config.portfolio_rungs`` yields a rung at
+    ``path_budget // divisor`` (and ``deadline_seconds / divisor`` when a
+    deadline is set); divisors ``<= 1`` are skipped. A final
+    ``(None, None)`` rung — the full configured budget and deadline — is
+    always appended, which is what makes portfolio verdicts bit-identical
+    to the fixed-schedule run: any edge still unresolved gets exactly the
+    search the fixed configuration would have run, warmed by the caches
+    the earlier rungs populated.
+    """
+    ladder: list[tuple[Optional[int], Optional[float]]] = []
+    for divisor in config.portfolio_rungs:
+        if divisor <= 1:
+            continue
+        budget = max(1, config.path_budget // divisor)
+        deadline = (
+            config.deadline_seconds / divisor
+            if config.deadline_seconds is not None
+            else None
+        )
+        ladder.append((budget, deadline))
+    ladder.append((None, None))
+    return ladder
+
+
+class InversionMeter:
+    """Counts priority inversions in one dispatch batch: completions of
+    a job while a strictly cheaper job is still unfinished — the
+    head-of-line blocking the priority order exists to avoid. Inherent
+    under parallelism (a cheap job can start last), so this is a report
+    statistic, not an assertion."""
+
+    def __init__(self, costs: dict) -> None:
+        self._pending = dict(costs)
+        self.inversions = 0
+
+    def complete(self, key) -> None:
+        cost = self._pending.pop(key, None)
+        if cost is None or not self._pending:
+            return
+        if min(self._pending.values()) < cost:
+            self.inversions += 1
+            _INVERSIONS.inc()
+
+
+# ---------------------------------------------------------------------------
+# Path-level work stealing (thread backend)
+# ---------------------------------------------------------------------------
+
+
+class SharedWorklist:
+    """One in-flight search's worklist, opened to helper threads.
+
+    The owner pops newest-first (the engine's usual DFS order); helpers
+    steal oldest-first — the shallowest, largest unexplored subtrees —
+    from the other end of the deque. The path-program budget and the
+    wall-clock deadline are shared: helper work is charged to the same
+    search, so total effort accounting matches the serial semantics.
+    """
+
+    def __init__(
+        self,
+        states,
+        budget: int,
+        deadline_at: Optional[float],
+    ) -> None:
+        self._dq: deque = deque(states)
+        self._cv = threading.Condition()
+        self._in_flight = 0
+        self._budget_left = budget
+        self.deadline_at = deadline_at
+        self.witness = None
+        self.timed_out = False
+        self.done = False
+        self.steals = 0
+
+    # -- introspection (racy reads are fine: scheduling hints only) --------
+
+    def queued(self) -> int:
+        return len(self._dq)
+
+    @property
+    def budget_left(self) -> int:
+        with self._cv:
+            return self._budget_left
+
+    @property
+    def refuted(self) -> bool:
+        """True once the search completed with every path state killed."""
+        return self.done and self.witness is None and not self.timed_out
+
+    # -- the work protocol --------------------------------------------------
+
+    def get(self, owner: bool):
+        """Take one state to step, or ``None`` when the search is over
+        (owner) / there is nothing stealable right now (helper). The
+        owner blocks while helpers still hold in-flight states — their
+        successors may refill the deque."""
+        with self._cv:
+            while True:
+                if self.done:
+                    return None
+                if self._dq:
+                    if owner:
+                        state = self._dq.pop()
+                    else:
+                        state = self._dq.popleft()
+                        self.steals += 1
+                        _STEALS.inc()
+                    self._in_flight += 1
+                    return state
+                if self._in_flight == 0:
+                    self.done = True
+                    self._cv.notify_all()
+                    return None
+                if not owner:
+                    return None
+                self._cv.wait(0.02)
+
+    def put_results(self, successors) -> None:
+        """Return one stepped state's successors and release its
+        in-flight slot."""
+        with self._cv:
+            if successors and not self.done:
+                self._dq.extend(successors)
+            self._in_flight -= 1
+            self._cv.notify_all()
+
+    def found_witness(self, state) -> None:
+        with self._cv:
+            if self.witness is None:
+                self.witness = state
+            self.done = True
+            self._in_flight -= 1
+            self._cv.notify_all()
+
+    def mark_timeout(self) -> None:
+        with self._cv:
+            self.timed_out = True
+            self.done = True
+            self._in_flight -= 1
+            self._cv.notify_all()
+
+    def spend(self, n: int = 1) -> bool:
+        """Charge ``n`` path programs to the shared budget; ``False``
+        once it is exhausted (the caller raises ``SearchTimeout``)."""
+        with self._cv:
+            self._budget_left -= n
+            return self._budget_left >= 0
+
+    def drain(self) -> list:
+        """Empty the deque (owner-side, after the search ended): the
+        abandoned states, for journal attribution."""
+        with self._cv:
+            leftover = list(self._dq)
+            self._dq.clear()
+            return leftover
+
+
+class StealRegistry:
+    """Directory of in-flight :class:`SharedWorklist`\\ s.
+
+    Worker engines register their search's worklist for the duration of
+    the search; drained pool threads loop on :meth:`pick`, assisting the
+    heaviest search that has stealable states, until the driver
+    :meth:`close`\\ s the registry at the end of the batch.
+    """
+
+    def __init__(self) -> None:
+        self._cv = threading.Condition()
+        self._active: list[SharedWorklist] = []
+        self._closed = False
+        #: Lifetime steal count, rolled up as searches unregister.
+        self.steals = 0
+
+    def register(self, shard: SharedWorklist) -> None:
+        with self._cv:
+            self._active.append(shard)
+            self._cv.notify_all()
+
+    def unregister(self, shard: SharedWorklist) -> None:
+        with self._cv:
+            try:
+                self._active.remove(shard)
+            except ValueError:
+                pass
+            self.steals += shard.steals
+            self._cv.notify_all()
+
+    def reopen(self) -> None:
+        with self._cv:
+            self._closed = False
+
+    def close(self) -> None:
+        """End the batch: helpers blocked in :meth:`pick` return None."""
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+
+    def pick(self) -> Optional[SharedWorklist]:
+        """The heaviest in-flight search with stealable states; blocks
+        (polling) while searches are active but momentarily empty, and
+        returns ``None`` once the registry is closed."""
+        with self._cv:
+            while True:
+                if self._closed:
+                    return None
+                candidates = [
+                    s for s in self._active if not s.done and s.queued() > 0
+                ]
+                if candidates:
+                    return max(candidates, key=lambda s: s.queued())
+                self._cv.wait(0.01)
+
+
+__all__ = [
+    "LIFO",
+    "PRIORITY",
+    "CostModel",
+    "InversionMeter",
+    "SharedWorklist",
+    "StealRegistry",
+    "rung_ladder",
+    "state_cost",
+]

@@ -82,6 +82,33 @@ class SearchConfig:
     #: session uses footprints to invalidate only the verdicts an edit can
     #: touch; off by default because one-shot runs never read them.
     record_footprints: bool = False
+    #: Worklist discipline inside one search: ``"lifo"`` (the paper's DFS,
+    #: the default) or ``"priority"`` (cheapest-state-first best-first
+    #: search keyed on constraint count + symbolic-memory size; see
+    #: :func:`repro.engine.schedule.state_cost`). The driver also sorts
+    #: job *batches* cheapest-first under ``"priority"``. Verdicts are
+    #: schedule-independent on budget-ample runs; witness traces and
+    #: near-budget timeout boundaries may differ.
+    schedule: str = "lifo"
+    #: Cheap-first portfolio (CLI ``--portfolio``): run every job at a
+    #: small budget/deadline rung first and re-run only the survivors at
+    #: escalating rungs, re-using the refuted-state cache and solver
+    #: memos across rungs. The final rung always runs at the full
+    #: configured budget/deadline, so verdicts are bit-identical to the
+    #: fixed-schedule run.
+    portfolio: bool = False
+    #: Budget/deadline divisors for the portfolio rungs, cheapest first
+    #: (``path_budget // d``); divisors <= 1 are ignored and a final
+    #: full-budget rung is always appended. See
+    #: :func:`repro.engine.schedule.rung_ladder`.
+    portfolio_rungs: tuple = (16, 4)
+    #: Path-level work stealing (CLI ``--steal``, thread backend only):
+    #: drained pool threads steal unexplored path-state subtrees from the
+    #: heaviest in-flight search. Shares one budget across thieves, which
+    #: can resolve searches that would otherwise time out — strictly more
+    #: precise, but not bit-identical near the budget boundary, hence its
+    #: own toggle.
+    work_stealing: bool = False
 
     def copy(self, **overrides) -> "SearchConfig":
         from dataclasses import replace

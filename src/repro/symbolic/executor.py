@@ -24,6 +24,7 @@ when the budget runs out (treated as not-refuted, like the paper)."""
 
 from __future__ import annotations
 
+import heapq
 import time
 from dataclasses import dataclass
 from typing import Optional, Union
@@ -146,23 +147,45 @@ class Engine:
         #: The active search journal (repro.obs.provenance), or None: every
         #: journaling hook below is a no-op when no journal is installed.
         self._sj: Optional["provenance.SearchJournal"] = None
+        #: Work-stealing hookup (thread backend): the driver sets a
+        #: :class:`repro.engine.schedule.StealRegistry` on worker engines
+        #: when ``config.work_stealing``; searches then run on a shared,
+        #: stealable worklist. ``_shard`` is the worklist this engine is
+        #: currently working (as owner or helper) — ``_spend`` charges it.
+        self.steal_registry = None
+        self._shard = None
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
 
-    def refute_edge(self, edge: HeapEdge) -> EdgeResult:
+    def refute_edge(
+        self,
+        edge: HeapEdge,
+        budget: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> EdgeResult:
         """Try to refute ``edge``: search for a path program witness from
-        every producing statement; refuted iff all searches are refuted."""
+        every producing statement; refuted iff all searches are refuted.
+
+        ``budget``/``deadline`` override the config's per-edge limits for
+        this attempt (the driver's portfolio rungs). A TIMEOUT under an
+        override is *provisional* — a later, larger rung may still resolve
+        the edge — so it is not cached or counted in :attr:`stats`;
+        REFUTED/WITNESSED verdicts are final at any rung (a deterministic
+        search that completes under a smaller cap returns the same verdict
+        under a larger one) and are cached normally."""
         from ..pointsto.producers import edge_key
 
         key = edge_key(edge)
         if key in self._edge_cache:
             return self._edge_cache[key]
+        partial = budget is not None or deadline is not None
         start = time.perf_counter()
         checks_before = self.ctx.solver_stats.checks
-        self._budget_left = self.config.path_budget
-        self._arm_deadline(start)
+        baseline = budget if budget is not None else self.config.path_budget
+        self._budget_left = baseline
+        self._arm_deadline(start, deadline)
         self._history = QueryHistory(
             enabled=self.config.simplify_queries, shared=self._refuted_cache
         )
@@ -204,7 +227,7 @@ class Engine:
             except SearchTimeout:
                 status = TIMEOUT
                 self._history.discard_pending()
-            explored = self.config.path_budget - self._budget_left
+            explored = baseline - self._budget_left
             sp.set(status=status, path_programs=explored)
         result = EdgeResult(
             edge=edge,
@@ -221,9 +244,10 @@ class Engine:
             self._sj.close(status)
             result.kill_reasons = dict(self._sj.kill_counts)
             self._sj = None
-        self.stats.record(result)
+        if not (partial and status == TIMEOUT):
+            self.stats.record(result)
+            self._edge_cache[key] = result
         self.stats.history_drops = self._history.drops
-        self._edge_cache[key] = result
         _observe_search(result, self.ctx.solver_stats.checks - checks_before)
         return result
 
@@ -239,6 +263,7 @@ class Engine:
         bindings: list[tuple[str, Optional[frozenset]]],
         budget: Optional[int] = None,
         description: Optional[str] = None,
+        deadline: Optional[float] = None,
     ) -> EdgeResult:
         """Generic heap-reachability fact checking: can execution reach the
         program point *just before* the command at ``label`` in a state
@@ -251,7 +276,7 @@ class Engine:
         checks_before = self.ctx.solver_stats.checks
         baseline = budget if budget is not None else self.config.path_budget
         self._budget_left = baseline
-        self._arm_deadline(start)
+        self._arm_deadline(start, deadline)
         self._history = QueryHistory(
             enabled=self.config.simplify_queries, shared=self._refuted_cache
         )
@@ -280,16 +305,30 @@ class Engine:
                     state.sid = self._sj.new_state(0, label, detail="fact root")
                 try:
                     self._spend()
-                    found = self._search([state])
-                    if found is not None:
-                        status = WITNESSED
-                        witness_trace = _materialize(found.trace)
-                        self._history.discard_pending()
-                    else:
-                        self._flush_refuted()
                 except SearchTimeout:
+                    # Root-level exhaustion: _search never ran, so journal
+                    # the kill ourselves (it sweeps its own frontier).
                     status = TIMEOUT
                     self._history.discard_pending()
+                    if self._sj is not None:
+                        self._sj.kill(
+                            state.sid,
+                            label,
+                            provenance.BUDGET_TIMEOUT,
+                            "budget or deadline exhausted at the fact root",
+                        )
+                else:
+                    try:
+                        found = self._search([state])
+                        if found is not None:
+                            status = WITNESSED
+                            witness_trace = _materialize(found.trace)
+                            self._history.discard_pending()
+                        else:
+                            self._flush_refuted()
+                    except SearchTimeout:
+                        status = TIMEOUT
+                        self._history.discard_pending()
             elif self._sj is not None:
                 sid = self._sj.new_state(0, label, detail="fact root")
                 self._sj.kill(
@@ -321,12 +360,19 @@ class Engine:
     # Search loop
     # ------------------------------------------------------------------
 
-    def _arm_deadline(self, start: float) -> None:
+    def _arm_deadline(
+        self, start: float, override: Optional[float] = None
+    ) -> None:
         """Arm the per-edge wall-clock deadline (cooperative cancellation:
         the search loops poll :meth:`_check_deadline` and unwind with
-        ``SearchTimeout``, which is reported as TIMEOUT / not-refuted)."""
-        if self.config.deadline_seconds is not None:
-            self._deadline_at = start + self.config.deadline_seconds
+        ``SearchTimeout``, which is reported as TIMEOUT / not-refuted).
+        ``override`` replaces the config's deadline for this search (the
+        driver's portfolio rungs)."""
+        deadline = (
+            override if override is not None else self.config.deadline_seconds
+        )
+        if deadline is not None:
+            self._deadline_at = start + deadline
         else:
             self._deadline_at = None
         self._deadline_step = 0
@@ -341,6 +387,14 @@ class Engine:
             raise SearchTimeout()
 
     def _spend(self, n: int = 1) -> None:
+        shard = self._shard
+        if shard is not None:
+            # Shared (stealable) search: one budget across owner and
+            # helpers, so total effort matches the serial accounting.
+            if not shard.spend(n):
+                raise SearchTimeout()
+            self._check_deadline()
+            return
         self._budget_left -= n
         if self._budget_left < 0:
             raise SearchTimeout()
@@ -348,15 +402,40 @@ class Engine:
 
     def _search(self, initial: list[PathState]) -> Optional[PathState]:
         """DFS over path states; returns a witnessing state or None when
-        all paths are refuted."""
-        stack = list(initial)
+        all paths are refuted.
+
+        Under ``config.schedule == "priority"`` the worklist is a
+        best-first priority queue keyed on
+        :func:`repro.engine.schedule.state_cost` (cheapest state next,
+        newest-first among ties). Verdicts are order-independent on
+        budget-ample searches — every path must be killed either way —
+        but witness traces and near-budget timeout boundaries may differ
+        from the LIFO run. When a steal registry is attached the search
+        runs on a shared, stealable worklist instead
+        (:meth:`_search_shared`)."""
+        if self.steal_registry is not None and self._shard is None:
+            return self._search_shared(initial)
+        use_priority = self.config.schedule == "priority"
+        frontier: list
+        seq = 0
+        if use_priority:
+            from ..engine.schedule import state_cost
+
+            frontier = []
+            for s in initial:
+                seq += 1
+                heapq.heappush(frontier, (state_cost(s), -seq, s))
+        else:
+            frontier = list(initial)
         explored = 0
         sj = self._sj
         state: Optional[PathState] = None
         try:
-            while stack:
+            while frontier:
                 self._check_deadline(every=16)
-                state = stack.pop()
+                state = (
+                    heapq.heappop(frontier)[2] if use_priority else frontier.pop()
+                )
                 explored += 1
                 successors = self._step(state)
                 if sj is not None:
@@ -364,7 +443,13 @@ class Engine:
                         child.sid = sj.new_state(
                             state.sid, _trace_label(child.trace)
                         )
-                stack.extend(self._prune_batch(successors))
+                kept = self._prune_batch(successors)
+                if use_priority:
+                    for s in kept:
+                        seq += 1
+                        heapq.heappush(frontier, (state_cost(s), -seq, s))
+                else:
+                    frontier.extend(kept)
         except _Witnessed as w:
             if sj is not None:
                 sj.witness(w.state.sid, _trace_label(w.state.trace))
@@ -378,7 +463,8 @@ class Engine:
                         provenance.BUDGET_TIMEOUT,
                         "path budget or wall-clock deadline exhausted",
                     )
-                for s in stack:
+                for entry in frontier:
+                    s = entry[2] if use_priority else entry
                     if s.sid:
                         sj.kill(
                             s.sid,
@@ -390,6 +476,110 @@ class Engine:
         finally:
             _STATES_EXPLORED.inc(explored)
         return None
+
+    # ------------------------------------------------------------------
+    # Shared (stealable) searches — repro.engine.schedule
+    # ------------------------------------------------------------------
+
+    def _search_shared(self, initial: list[PathState]) -> Optional[PathState]:
+        """Run one search on a shared, stealable worklist: register it so
+        drained pool threads can assist, then run the owner loop. The
+        worklist carries this search's remaining budget and deadline, so
+        helper effort is charged to the same limits."""
+        from ..engine.schedule import SharedWorklist
+
+        shard = SharedWorklist(initial, self._budget_left, self._deadline_at)
+        self.steal_registry.register(shard)
+        try:
+            self._run_shared(shard, owner=True)
+        finally:
+            self.steal_registry.unregister(shard)
+            self._budget_left = shard.budget_left
+        sj = self._sj
+        if shard.witness is not None:
+            # Helper-found witnesses carry sid 0 (stolen subtrees are
+            # unjournaled); only journal a witness the owner tracked.
+            if sj is not None and shard.witness.sid:
+                sj.witness(shard.witness.sid, _trace_label(shard.witness.trace))
+            return shard.witness
+        if shard.timed_out:
+            if sj is not None:
+                for s in shard.drain():
+                    if s.sid:
+                        sj.kill(
+                            s.sid,
+                            _trace_label(s.trace),
+                            provenance.BUDGET_TIMEOUT,
+                            "abandoned on the shared worklist at timeout",
+                        )
+            raise SearchTimeout()
+        return None
+
+    def _run_shared(self, shard, owner: bool) -> None:
+        """The step loop both the owner and helpers run against a shared
+        worklist. The owner pops newest-first and journals its own
+        subtree; helpers steal oldest-first and run unjournaled."""
+        sj = self._sj if owner else None
+        prev_shard = self._shard
+        prev_deadline = self._deadline_at
+        self._shard = shard
+        self._deadline_at = shard.deadline_at
+        explored = 0
+        try:
+            while True:
+                state = shard.get(owner)
+                if state is None:
+                    return
+                settled = False
+                try:
+                    self._check_deadline(every=16)
+                    explored += 1
+                    successors = self._step(state)
+                    if sj is not None:
+                        for child in successors:
+                            child.sid = sj.new_state(
+                                state.sid, _trace_label(child.trace)
+                            )
+                    shard.put_results(self._prune_batch(successors))
+                    settled = True
+                except _Witnessed as w:
+                    settled = True
+                    shard.found_witness(w.state)
+                    return
+                except SearchTimeout:
+                    settled = True
+                    shard.mark_timeout()
+                    return
+                finally:
+                    if not settled:
+                        shard.put_results([])
+        finally:
+            _STATES_EXPLORED.inc(explored)
+            self._shard = prev_shard
+            self._deadline_at = prev_deadline
+
+    def assist(self, shard) -> None:
+        """Work-steal helper entry point: step states of another engine's
+        in-flight search on this (idle) engine. Runs with journaling off
+        — stolen subtrees are unjournaled, so per-edge kill attribution
+        still equals the journal recount — and a fresh query history so
+        subsumption bookkeeping stays scoped to the assisted search. Dead
+        ends proven here flow into the shared refuted-state cache exactly
+        when the assisted search completes REFUTED."""
+        saved_sj, self._sj = self._sj, None
+        saved_history = self._history
+        self._history = QueryHistory(
+            enabled=self.config.simplify_queries, shared=self._refuted_cache
+        )
+        try:
+            self._run_shared(shard, owner=False)
+            if shard.refuted:
+                self._flush_refuted()
+            else:
+                self._history.discard_pending()
+        finally:
+            self._history = saved_history
+            self._sj = saved_sj
 
     # ------------------------------------------------------------------
     # Journaling hooks (no-ops when no journal is installed; subwalk
@@ -1133,11 +1323,23 @@ class Engine:
                     or "producer query unsatisfiable at its own statement",
                 )
             return None
-        self._spend()
         k = self._continuation_before(method.qualified_name, label)
         state = PathState(k, q, (label, ()))
         if self._sj is not None:
             state.sid = self._sj.new_state(0, label, detail="producer")
+        try:
+            self._spend()
+        except SearchTimeout:
+            # The budget/deadline died at the root: journal the kill here,
+            # because the state never reaches _search's timeout sweep.
+            if self._sj is not None:
+                self._sj.kill(
+                    state.sid,
+                    label,
+                    provenance.BUDGET_TIMEOUT,
+                    "budget or deadline exhausted at the producer root",
+                )
+            raise
         return state
 
 

@@ -32,6 +32,9 @@ class EdgeResult:
     #: (``SearchConfig.record_footprints``); the verdict can only change if
     #: one of these methods — or a summary they depend on — changes.
     footprint: Optional[frozenset] = None
+    #: Portfolio rung that resolved this job (0 = first/only rung). Set by
+    #: the driver; always 0 outside ``SearchConfig.portfolio`` runs.
+    rung: int = 0
 
     @property
     def refuted(self) -> bool:

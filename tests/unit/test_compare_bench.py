@@ -42,7 +42,18 @@ class TestCompare:
         assert not result["ok"]
         assert any("solver calls" in f for f in result["failures"])
 
-    def test_wall_clock_regression_fails(self):
+    def test_wall_clock_regression_advisory_by_default(self, monkeypatch):
+        # Wall-clock needs an idle machine to mean anything: without
+        # REPRO_BENCH_STRICT the regression is reported, not fatal.
+        monkeypatch.setattr(compare_bench, "STRICT", False)
+        fresh = payload(cached=cfg(40.0, 100))
+        base = payload(cached=cfg(10.0, 100))
+        result = compare_bench.compare(fresh, base)
+        assert result["ok"]
+        assert any("wall-clock" in a for a in result["advisories"])
+
+    def test_wall_clock_regression_fails_under_strict(self, monkeypatch):
+        monkeypatch.setattr(compare_bench, "STRICT", True)
         fresh = payload(cached=cfg(40.0, 100))
         base = payload(cached=cfg(10.0, 100))
         result = compare_bench.compare(fresh, base)
