@@ -19,7 +19,14 @@ promises honest, and CI runs it:
    the journal events the workload records when a journal is installed,
    microbenchmark the disabled ``provenance.enabled()`` guard (the
    costliest disabled-path hook — it runs once per solver check), and
-   assert that estimate is under the same threshold.
+   assert that estimate is under the same threshold;
+6. repeat it once more for the always-on slow-query flight recorder:
+   count the per-search summaries the workload records, microbenchmark
+   one ``FlightRecorder.record`` call (summary-dict build + bounded
+   deque append under a lock), and assert that estimate is under the
+   same threshold. Unlike tracing/journaling there is no disabled mode
+   to compare against — the recorder is on by default, so its hot path
+   must itself be within budget.
 
 Exit status 0 = within budget, 1 = overhead budget blown.
 
@@ -113,6 +120,48 @@ def workload_journal_events() -> int:
     )
 
 
+def flight_record_cost(calls: int = 200_000) -> float:
+    """Seconds per flight-recorder record: the summary-dict construction
+    plus the ring append — everything the driver's per-search hook does
+    beyond reading fields the result already holds."""
+    from repro.obs.telemetry import FlightRecorder
+
+    recorder = FlightRecorder(size=256)
+    record = recorder.record
+    start = time.perf_counter()
+    for i in range(calls):
+        record(
+            {
+                "kind": "edge",
+                "description": "overhead.probe",
+                "status": "refuted",
+                "seconds": 0.001,
+                "path_programs": 3,
+                "kill_reasons": {"refuted": 2},
+                "footprint_size": 4,
+                "rung": 0,
+                "worker": "serial",
+                "estimate": i,
+                "ts": 0.0,
+            }
+        )
+    return (time.perf_counter() - start) / calls
+
+
+def workload_flight_records() -> int:
+    """How many summaries the workload pushes into the flight recorder."""
+    from repro.android.leaks import LeakChecker
+    from repro.bench.workloads import container_app
+    from repro.obs.telemetry import RECORDER
+
+    RECORDER.reset()
+    try:
+        LeakChecker(container_app(3), "obs-overhead").run()
+        return len(RECORDER.recent())
+    finally:
+        RECORDER.reset()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -134,6 +183,11 @@ def main(argv: list[str] | None = None) -> int:
     journal_estimate = events * per_guard
     journal_fraction = journal_estimate / base if base > 0 else 0.0
 
+    per_record = flight_record_cost()
+    records = workload_flight_records()
+    flight_estimate = records * per_record
+    flight_fraction = flight_estimate / base if base > 0 else 0.0
+
     print(f"no-op span cost:           {per_span * 1e9:8.1f} ns/span")
     print(f"workload (disabled):       {base * 1e3:8.1f} ms")
     print(f"spans opened (enabled):    {spans:8d}")
@@ -147,6 +201,12 @@ def main(argv: list[str] | None = None) -> int:
         f"estimated journal overhead:{journal_estimate * 1e3:8.3f} ms"
         f" ({journal_fraction * 100:.2f}% of the workload)"
     )
+    print(f"flight record cost:        {per_record * 1e9:8.1f} ns/record")
+    print(f"flight records (workload): {records:8d}")
+    print(
+        f"estimated flight overhead: {flight_estimate * 1e3:8.3f} ms"
+        f" ({flight_fraction * 100:.2f}% of the workload)"
+    )
     failed = False
     if fraction >= args.threshold:
         print(
@@ -158,6 +218,13 @@ def main(argv: list[str] | None = None) -> int:
     if journal_fraction >= args.threshold:
         print(
             f"FAIL: disabled-journaling overhead {journal_fraction * 100:.2f}%"
+            f" >= {args.threshold * 100:.1f}% budget",
+            file=sys.stderr,
+        )
+        failed = True
+    if flight_fraction >= args.threshold:
+        print(
+            f"FAIL: flight-recorder overhead {flight_fraction * 100:.2f}%"
             f" >= {args.threshold * 100:.1f}% budget",
             file=sys.stderr,
         )

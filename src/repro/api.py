@@ -83,6 +83,7 @@ _WIRE_FIELDS = (
     "schedule",
     "portfolio",
     "steal",
+    "slow_query_ms",
 )
 
 
@@ -136,6 +137,9 @@ class AnalysisRequest:
     schedule: Optional[str] = None
     portfolio: bool = False
     steal: bool = False
+    #: Slow-query flight-recorder threshold override in milliseconds
+    #: (CLI --slow-query-ms); ``None`` keeps the config's default.
+    slow_query_ms: Optional[float] = None
     config: Optional[SearchConfig] = None
     on_event: Optional[Callable[[object], None]] = None
 
@@ -292,6 +296,8 @@ def _resolve_config(request: AnalysisRequest) -> SearchConfig:
         config = config.copy(portfolio=True)
     if request.steal:
         config = config.copy(work_stealing=True)
+    if request.slow_query_ms is not None:
+        config = config.copy(slow_query_ms=request.slow_query_ms)
     return config
 
 

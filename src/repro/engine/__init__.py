@@ -7,10 +7,13 @@ This is the seam between the single-edge search engine
 (:mod:`repro.android.leaks`, :mod:`repro.clients`, :mod:`repro.reporting`).
 """
 
+from .diff import diff_reports, render_diff
 from .driver import PROCESS, SERIAL, THREAD, RefutationDriver
 from .events import (
+    EdgeEscalated,
     EdgeFinished,
     EdgeScheduled,
+    EdgeStolen,
     EventBus,
     ProgressPrinter,
     RunFinished,
@@ -24,8 +27,10 @@ __all__ = [
     "SERIAL",
     "THREAD",
     "PROCESS",
+    "EdgeEscalated",
     "EdgeFinished",
     "EdgeScheduled",
+    "EdgeStolen",
     "EventBus",
     "ProgressPrinter",
     "RunFinished",
@@ -33,4 +38,6 @@ __all__ = [
     "SpanFinished",
     "EdgeRecord",
     "RunReport",
+    "diff_reports",
+    "render_diff",
 ]

@@ -38,7 +38,7 @@ from contextlib import contextmanager
 from typing import Callable, Optional, Sequence
 
 from .. import perf
-from ..obs import metrics, provenance, trace
+from ..obs import metrics, provenance, telemetry, trace
 from ..perf.cache import RefutedStateCache
 from ..pointsto import PointsToResult
 from ..pointsto.graph import HeapEdge
@@ -46,8 +46,10 @@ from ..pointsto.producers import EdgeKey, edge_key
 from ..symbolic import Engine, SearchConfig
 from ..symbolic.stats import EdgeResult
 from .events import (
+    EdgeEscalated,
     EdgeFinished,
     EdgeScheduled,
+    EdgeStolen,
     EventBus,
     RunFinished,
     RunStarted,
@@ -161,6 +163,8 @@ class RefutationDriver:
             if config.work_stealing and jobs > 1 and self.backend == THREAD
             else None
         )
+        if self._steal_registry is not None:
+            self._steal_registry.on_steal = self._on_steal
         self._tracer = trace.get_tracer()
         if self._tracer is not None:
             self._tracer.add_sink(self._on_span)
@@ -241,7 +245,11 @@ class RefutationDriver:
 
     def _on_span(self, record) -> None:
         """Tracer sink: fold every finished span into the per-phase rollup
-        and forward it onto the event bus (progress printer, collectors)."""
+        and forward it onto the event bus (progress printer, collectors).
+        Instant records (rung escalations, steals) are point events, not
+        phases — they already reach the bus as typed lifecycle events."""
+        if getattr(record, "kind", "span") == "instant":
+            return
         with self._lock:
             self._phase_seconds[record.name] = (
                 self._phase_seconds.get(record.name, 0.0) + record.duration
@@ -254,6 +262,43 @@ class RefutationDriver:
                 attrs=record.attrs,
             )
         )
+
+    def _on_steal(self, shard) -> None:
+        """Steal observer (thread backend, ``config.work_stealing``): one
+        call per stolen subtree, from the stealing thread, outside the
+        worklist's lock. Emits the lifecycle event and drops an instant
+        into the stealing worker's trace lane."""
+        thread = threading.current_thread().name
+        trace.instant(
+            "driver.steal", description=shard.description, thread=thread
+        )
+        self.events.emit(
+            EdgeStolen(
+                description=shard.description,
+                thread=thread,
+                queued=shard.queued(),
+            )
+        )
+
+    def _flight(
+        self,
+        kind: str,
+        description: str,
+        result: EdgeResult,
+        worker: str,
+        estimate: Optional[int] = None,
+        replay: Optional[Callable[[], object]] = None,
+    ) -> None:
+        """Feed one finally-recorded search into the always-on flight
+        recorder, capturing its journal when it crossed the slow-query
+        threshold (``config.slow_query_ms``)."""
+        summary = telemetry.search_summary(
+            kind, description, result, worker=worker, estimate=estimate
+        )
+        telemetry.RECORDER.record(summary)
+        threshold = self.config.slow_query_ms
+        if threshold is not None and result.seconds * 1000.0 >= threshold:
+            telemetry.RECORDER.capture(description, summary, replay=replay)
 
     @contextmanager
     def _timed_batch(self, total: int, jobs: int, backend: str, kind: str):
@@ -363,6 +408,42 @@ class RefutationDriver:
                 self._rungs[rung_index] = entry
             return entry
 
+    def _rung_scheduled(self, stats: dict) -> None:
+        """One job entered a rung. Mirrored into the metrics registry
+        (``driver.rung.scheduled.<rung>``) so rung occupancy is visible to
+        scrapes and merges across process-pool workers."""
+        stats["scheduled"] += 1
+        metrics.counter(f"driver.rung.scheduled.{stats['rung']}").inc()
+
+    def _rung_carryover(
+        self, stats: dict, description: str, ladder: list, rung_index: int
+    ) -> None:
+        """One job timed out at a non-final rung and escalates: count it,
+        emit the lifecycle event, and drop a trace instant."""
+        stats["carryover"] += 1
+        metrics.counter(f"driver.rung.carryover.{stats['rung']}").inc()
+        next_budget, next_deadline = ladder[rung_index + 1]
+        trace.instant(
+            "driver.rung_escalated", description=description, rung=rung_index
+        )
+        self.events.emit(
+            EdgeEscalated(
+                description=description,
+                rung=rung_index,
+                next_budget=next_budget,
+                next_deadline=next_deadline,
+            )
+        )
+
+    def _rung_resolved(
+        self, stats: dict, result: EdgeResult, rung_index: int
+    ) -> None:
+        """One job got its final verdict at this rung."""
+        result.rung = rung_index
+        stats["resolved"] += 1
+        stats[result.status] = stats.get(result.status, 0) + 1
+        metrics.counter(f"driver.rung.resolved.{stats['rung']}").inc()
+
     def _submit_helpers(self) -> list:
         """Queue one steal-helper loop per pool slot *behind* the batch's
         edge jobs: a worker only picks a helper up once no queued job
@@ -451,7 +532,7 @@ class RefutationDriver:
         for rung_index, (budget, deadline) in enumerate(ladder):
             final_rung = rung_index == len(ladder) - 1
             stats = self._rung_entry(rung_index, budget, deadline)
-            stats["scheduled"] += 1
+            self._rung_scheduled(stats)
             with self._job_span("edge", str(edge)):
                 result = self.engine.refute_edge(
                     edge, budget=budget, deadline=deadline
@@ -459,11 +540,9 @@ class RefutationDriver:
             _JOBS_DONE.inc()
             _JOB_SECONDS.observe(result.seconds)
             if result.timed_out and not final_rung:
-                stats["carryover"] += 1
+                self._rung_carryover(stats, str(edge), ladder, rung_index)
                 continue
-            result.rung = rung_index
-            stats["resolved"] += 1
-            stats[result.status] = stats.get(result.status, 0) + 1
+            self._rung_resolved(stats, result, rung_index)
             break
         return result
 
@@ -585,14 +664,12 @@ class RefutationDriver:
             stats = self._rung_entry(rung_index, budget, deadline)
             survivors: list[tuple[EdgeKey, HeapEdge]] = []
             for (key, edge), (result, worker) in zip(pending, attempts):
-                stats["scheduled"] += 1
+                self._rung_scheduled(stats)
                 if result.timed_out and not final_rung:
-                    stats["carryover"] += 1
+                    self._rung_carryover(stats, str(edge), ladder, rung_index)
                     survivors.append((key, edge))
                     continue
-                result.rung = rung_index
-                stats["resolved"] += 1
-                stats[result.status] = stats.get(result.status, 0) + 1
+                self._rung_resolved(stats, result, rung_index)
                 self._store(key, edge, result, worker)
                 results[key] = result
                 self._emit_finished(str(edge), result, worker, done, total)
@@ -746,15 +823,15 @@ class RefutationDriver:
                 stats = self._rung_entry(rung_index, budget, deadline)
                 survivors: list[tuple[EdgeKey, HeapEdge]] = []
                 for (key, edge), (result, worker) in zip(pending, attempts):
-                    stats["scheduled"] += 1
+                    self._rung_scheduled(stats)
                     if result.timed_out and not final_rung:
-                        stats["carryover"] += 1
+                        self._rung_carryover(
+                            stats, str(edge), ladder, rung_index
+                        )
                         provisional[key] = result
                         survivors.append((key, edge))
                         continue
-                    result.rung = rung_index
-                    stats["resolved"] += 1
-                    stats[result.status] = stats.get(result.status, 0) + 1
+                    self._rung_resolved(stats, result, rung_index)
                     self._store(key, edge, result, worker)
                     results[key] = result
                     provisional.pop(key, None)
@@ -807,7 +884,9 @@ class RefutationDriver:
                     _JOBS_DONE.inc()
                     _JOB_SECONDS.observe(result.seconds)
                     results[i] = result
-                    self._record_fact(description, result, SERIAL)
+                    self._record_fact(
+                        description, result, SERIAL, job=requests[i]
+                    )
                     self._emit_finished(description, result, SERIAL, done, total)
                     done += 1
             else:
@@ -837,7 +916,9 @@ class RefutationDriver:
                         result, worker = self._unpack(fut.result())
                         results[i] = result
                         description = requests[i][2]
-                        self._record_fact(description, result, worker)
+                        self._record_fact(
+                            description, result, worker, job=requests[i]
+                        )
                         self._emit_finished(description, result, worker, done, total)
                         done += 1
                 finally:
@@ -866,17 +947,17 @@ class RefutationDriver:
             stats = self._rung_entry(rung_index, budget, deadline)
             survivors: list[int] = []
             for i, (result, worker) in zip(pending, attempts):
-                stats["scheduled"] += 1
+                self._rung_scheduled(stats)
                 if result.timed_out and not final_rung:
-                    stats["carryover"] += 1
+                    self._rung_carryover(
+                        stats, requests[i][2], ladder, rung_index
+                    )
                     survivors.append(i)
                     continue
-                result.rung = rung_index
-                stats["resolved"] += 1
-                stats[result.status] = stats.get(result.status, 0) + 1
+                self._rung_resolved(stats, result, rung_index)
                 results[i] = result
                 description = requests[i][2]
-                self._record_fact(description, result, worker)
+                self._record_fact(description, result, worker, job=requests[i])
                 self._emit_finished(description, result, worker, done, total)
                 done += 1
             pending = survivors
@@ -1009,19 +1090,55 @@ class RefutationDriver:
             # one coherent result set.
             if key not in self.engine._edge_cache:
                 self.engine._edge_cache[key] = result
-            if key not in self._records:
+            fresh = key not in self._records
+            if fresh:
                 self._records[key] = EdgeRecord.from_result(
                     result, worker=worker, description=str(edge), kind="edge"
                 )
+        if fresh:
+            # Outside the lock: a slow-query capture may replay the search.
+            self._flight(
+                "edge",
+                str(edge),
+                result,
+                worker,
+                estimate=(
+                    self._cost.edge_cost(edge)
+                    if self._cost is not None
+                    else None
+                ),
+                replay=lambda: Engine(self.pta, self.config).refute_edge(edge),
+            )
 
     def _record_fact(
-        self, description: str, result: EdgeResult, worker: str
+        self,
+        description: str,
+        result: EdgeResult,
+        worker: str,
+        job: Optional[FactJob] = None,
     ) -> None:
         with self._lock:
             key = ("fact", description, len(self._records))
             self._records[key] = EdgeRecord.from_result(
                 result, worker=worker, description=description, kind="fact"
             )
+        if worker == "cache":
+            # A reused verdict (serve session's fact-table hit): no search
+            # ran, so there is nothing for the flight recorder to time.
+            return
+        estimate = None
+        replay = None
+        if job is not None:
+            label, bindings = job[0], job[1]
+            if self._cost is not None:
+                estimate = self._cost.fact_cost(label, bindings)
+            replay = lambda: Engine(self.pta, self.config).refute_fact_at(
+                label, bindings, description=description
+            )
+        self._flight(
+            "fact", description, result, worker, estimate=estimate,
+            replay=replay,
+        )
 
     def _emit_finished(
         self,
@@ -1086,6 +1203,7 @@ class RefutationDriver:
         )
         cache["memoize_solver"] = self.config.memoize_solver
         cache["state_subsumption"] = self.config.state_subsumption
+        cache["partition_solver"] = self.config.partition_solver
         schedule = self._schedule_section()
         with self._lock:
             return RunReport(
@@ -1117,6 +1235,11 @@ def _process_init(payload: bytes) -> None:
     global _PROCESS_ENGINE
     pta, config, trace_on, journal_on = pickle.loads(payload)
     _PROCESS_ENGINE = Engine(pta, config)
+    # A forked worker inherits the parent's registry values; zero them in
+    # place so the snapshot shipped back carries only this worker's own
+    # increments — the parent merge would otherwise re-add its own
+    # pre-fork counts once per worker.
+    metrics.REGISTRY.zero()
     # Mirror the parent's observability setup so worker spans and search
     # journals exist to be drained back after each job.
     if trace_on:

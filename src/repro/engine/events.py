@@ -41,6 +41,29 @@ class EdgeScheduled:
 
 
 @dataclass(frozen=True)
+class EdgeEscalated:
+    """One portfolio job timed out at a rung and carries over to the next
+    (see :func:`repro.engine.schedule.rung_ladder`). Emitted only for
+    non-final rungs — a final-rung timeout is an :class:`EdgeFinished`."""
+
+    description: str
+    rung: int  # the rung that timed out (0-based)
+    next_budget: Optional[int] = None  # None = the full configured budget
+    next_deadline: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class EdgeStolen:
+    """An idle worker stole a path-state subtree from an in-flight
+    search's shared worklist (``config.work_stealing``). One event per
+    steal, attributed to the stealing thread."""
+
+    description: str  # the assisted search
+    thread: str  # the stealing worker thread's name
+    queued: int = 0  # states left on the shared worklist after the steal
+
+
+@dataclass(frozen=True)
 class EdgeFinished:
     """One edge job completed (in completion order, not schedule order)."""
 

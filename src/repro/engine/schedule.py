@@ -212,16 +212,24 @@ class SharedWorklist:
         states,
         budget: int,
         deadline_at: Optional[float],
+        description: str = "",
     ) -> None:
         self._dq: deque = deque(states)
         self._cv = threading.Condition()
         self._in_flight = 0
         self._budget_left = budget
         self.deadline_at = deadline_at
+        #: The owning search's display token (its edge/fact description),
+        #: so steal telemetry can say *whose* subtree was taken.
+        self.description = description
         self.witness = None
         self.timed_out = False
         self.done = False
         self.steals = 0
+        #: Optional steal observer ``(shard) -> None``, attached by the
+        #: registry; invoked outside the condition lock, one call per
+        #: successful helper pop.
+        self.on_steal = None
 
     # -- introspection (racy reads are fine: scheduling hints only) --------
 
@@ -245,6 +253,8 @@ class SharedWorklist:
         (owner) / there is nothing stealable right now (helper). The
         owner blocks while helpers still hold in-flight states — their
         successors may refill the deque."""
+        stolen = False
+        state = None
         with self._cv:
             while True:
                 if self.done:
@@ -255,9 +265,10 @@ class SharedWorklist:
                     else:
                         state = self._dq.popleft()
                         self.steals += 1
+                        stolen = True
                         _STEALS.inc()
                     self._in_flight += 1
-                    return state
+                    break
                 if self._in_flight == 0:
                     self.done = True
                     self._cv.notify_all()
@@ -265,6 +276,14 @@ class SharedWorklist:
                 if not owner:
                     return None
                 self._cv.wait(0.02)
+        if stolen and self.on_steal is not None:
+            # Outside the condition lock: the observer may emit events /
+            # take other locks, and must never stall the work protocol.
+            try:
+                self.on_steal(self)
+            except Exception:
+                pass
+        return state
 
     def put_results(self, successors) -> None:
         """Return one stepped state's successors and release its
@@ -321,8 +340,13 @@ class StealRegistry:
         self._closed = False
         #: Lifetime steal count, rolled up as searches unregister.
         self.steals = 0
+        #: Optional steal observer ``(shard) -> None``, propagated onto
+        #: every registered worklist (the driver wires its event bus here).
+        self.on_steal = None
 
     def register(self, shard: SharedWorklist) -> None:
+        if self.on_steal is not None and shard.on_steal is None:
+            shard.on_steal = self.on_steal
         with self._cv:
             self._active.append(shard)
             self._cv.notify_all()

@@ -11,6 +11,11 @@ Three complementary substrates (see docs/observability.md):
   state spawned/killed/witnessed during backwards symbolic execution, with
   typed kill reasons, JSONL/DOT export, and refutation certificates
   (``--journal FILE``, ``repro explain``). No-op unless installed.
+* :mod:`repro.obs.telemetry` — the operational layer on top: Prometheus
+  text exposition of the registry (``GET /metrics``), the lifecycle-event
+  hub behind ``watch`` / ``repro top``, the always-on slow-query flight
+  recorder (``repro explain --slow``), and periodic snapshot streaming
+  (``--metrics-stream FILE``).
 
 Usage from pipeline code::
 
@@ -24,15 +29,20 @@ Usage from pipeline code::
     _SEARCHES.inc()
 """
 
-from . import metrics, provenance, trace
+from . import metrics, provenance, telemetry, trace
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, REGISTRY
 from .provenance import RunJournal, SearchJournal
+from .telemetry import FlightRecorder, MetricsStreamer, TelemetryHub
 from .trace import SpanRecord, Tracer
 
 __all__ = [
     "metrics",
     "provenance",
+    "telemetry",
     "trace",
+    "FlightRecorder",
+    "MetricsStreamer",
+    "TelemetryHub",
     "Counter",
     "Gauge",
     "Histogram",

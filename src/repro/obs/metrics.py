@@ -61,6 +61,10 @@ class Counter:
         """Fold another process's counter into this one (values add)."""
         self.inc(snap.get("value", 0))
 
+    def zero(self) -> None:
+        with self._lock:
+            self._value = 0
+
 
 class Gauge:
     """A value that goes up and down (e.g. live worker count)."""
@@ -98,6 +102,10 @@ class Gauge:
         with self._lock:
             if value > self._value:
                 self._value = value
+
+    def zero(self) -> None:
+        with self._lock:
+            self._value = 0.0
 
 
 class Histogram:
@@ -187,6 +195,16 @@ class Histogram:
                 self._values = self._values[::2]
                 self._stride *= 2
 
+    def zero(self) -> None:
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.min = None
+            self.max = None
+            self._values = []
+            self._stride = 1
+            self._skip = 0
+
     def to_dict(self) -> dict:
         return {
             "type": "histogram",
@@ -246,6 +264,16 @@ class MetricsRegistry:
         """Drop every instrument (test isolation; not used in production)."""
         with self._lock:
             self._instruments.clear()
+
+    def zero(self) -> None:
+        """Zero every instrument *in place*, preserving identity — callers
+        holding module-level handles keep reporting into the registry.
+        Used by forked process workers to drop the parent's inherited
+        values so the snapshot they ship back carries only their own."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for inst in instruments:
+            inst.zero()
 
     def to_dict(self) -> dict:
         with self._lock:

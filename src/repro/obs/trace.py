@@ -46,7 +46,7 @@ class SpanRecord:
     """One finished span: the unit handed to sinks and the trace export."""
 
     __slots__ = ("name", "start", "duration", "thread_id", "thread_name",
-                 "span_id", "parent_id", "attrs", "pid")
+                 "span_id", "parent_id", "attrs", "pid", "kind")
 
     def __init__(
         self,
@@ -59,6 +59,7 @@ class SpanRecord:
         parent_id: Optional[int],
         attrs: dict,
         pid: Optional[int] = None,
+        kind: str = "span",
     ) -> None:
         self.name = name
         self.start = start  # seconds since the tracer's epoch
@@ -71,14 +72,18 @@ class SpanRecord:
         #: Originating process, set only on spans absorbed from a worker
         #: process; None means "this process".
         self.pid = pid
+        #: ``"span"`` (a timed interval) or ``"instant"`` (a point event —
+        #: rung escalations, steal handoffs; Chrome ``ph: i``).
+        self.kind = kind
 
     def to_chrome_event(self, pid: int) -> dict:
-        """A Chrome trace-event 'complete' (``ph: X``) event, microseconds."""
+        """A Chrome trace event, microseconds: 'complete' (``ph: X``) for
+        spans, thread-scoped 'instant' (``ph: i``) for point events."""
         args = dict(self.attrs)
         args["span_id"] = self.span_id
         if self.parent_id is not None:
             args["parent_id"] = self.parent_id
-        return {
+        event = {
             "name": self.name,
             "cat": self.name.split(".", 1)[0],
             "ph": "X",
@@ -88,6 +93,11 @@ class SpanRecord:
             "tid": self.thread_id,
             "args": args,
         }
+        if self.kind == "instant":
+            event["ph"] = "i"
+            event["s"] = "t"  # scope: the emitting worker's thread lane
+            del event["dur"]
+        return event
 
     def to_dict(self) -> dict:
         """Plain-data form for shipping across a process boundary."""
@@ -100,6 +110,7 @@ class SpanRecord:
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "attrs": self.attrs,
+            "kind": self.kind,
         }
 
 
@@ -218,6 +229,31 @@ class Tracer:
             self._id_counter += 1
             return self._id_counter
 
+    def instant(self, name: str, **attrs) -> None:
+        """Record a zero-duration point event in the calling thread's lane
+        (Chrome ``ph: i``): rung escalations, work-steal handoffs. Routes
+        through :meth:`_record`, so sinks observe it — sinks that roll up
+        durations must skip ``kind == "instant"`` records."""
+        state = self._tls
+        if state.ordinal < 0:
+            with self._lock:
+                state.ordinal = self._thread_counter
+                self._thread_counter += 1
+            state.name = threading.current_thread().name
+        self._record(
+            SpanRecord(
+                name=name,
+                start=time.perf_counter() - self.epoch,
+                duration=0.0,
+                thread_id=state.ordinal,
+                thread_name=state.name,
+                span_id=self._next_id(),
+                parent_id=state.stack[-1] if state.stack else None,
+                attrs=attrs,
+                kind="instant",
+            )
+        )
+
     def _record(self, record: SpanRecord) -> None:
         with self._lock:
             if len(self._records) < self.max_spans:
@@ -283,6 +319,7 @@ class Tracer:
                     parent_id=remap.get(row["parent_id"]),
                     attrs=row.get("attrs", {}),
                     pid=pid,
+                    kind=row.get("kind", "span"),
                 )
             )
 
@@ -290,6 +327,8 @@ class Tracer:
         """Summed seconds per span name — the per-phase timing rollup."""
         totals: dict[str, float] = {}
         for record in self.spans():
+            if record.kind == "instant":
+                continue
             totals[record.name] = totals.get(record.name, 0.0) + record.duration
         return totals
 
@@ -353,6 +392,9 @@ class _DisabledTracer:
     def span(self, name: str, **attrs) -> _NoopSpan:
         return _NOOP_SPAN
 
+    def instant(self, name: str, **attrs) -> None:
+        return None
+
 
 _DISABLED = _DisabledTracer()
 _active: object = _DISABLED
@@ -384,3 +426,8 @@ def enabled() -> bool:
 def span(name: str, **attrs):
     """Open a span on the active tracer (no-op when tracing is disabled)."""
     return _active.span(name, **attrs)
+
+
+def instant(name: str, **attrs) -> None:
+    """Record a point event on the active tracer (no-op when disabled)."""
+    _active.instant(name, **attrs)

@@ -30,7 +30,15 @@ from ..clients.result import WIRE_SCHEMA_VERSION
 
 SCHEMA_VERSION = WIRE_SCHEMA_VERSION
 
-OPS = ("analyze", "update", "explain", "status", "shutdown")
+OPS = (
+    "analyze",
+    "update",
+    "explain",
+    "status",
+    "shutdown",
+    "metrics",
+    "watch",
+)
 
 
 class ProtocolError(ValueError):

@@ -47,7 +47,8 @@ from ..api import (
 from ..engine import RefutationDriver
 from ..ir import build_program
 from ..lang import frontend
-from ..obs import metrics, provenance
+from .. import perf
+from ..obs import metrics, provenance, telemetry
 from ..pointsto import analyze as pointsto_analyze
 from ..pointsto import reanalyze
 from ..symbolic import SearchConfig
@@ -180,6 +181,10 @@ class ProgramSession:
         self._facts: dict = {}  # _fact_key -> EdgeResult
         self._updates_applied = 0
         self._closed = False
+        #: Session-lifetime lifecycle hub: every driver (including those
+        #: created by rebuilds) feeds it, so ``watch`` cursors survive
+        #: updates and the ``top`` renderer sees one continuous stream.
+        self.hub = telemetry.TelemetryHub()
         self._rebuild(source)
 
     # -- pipeline front half -------------------------------------------------
@@ -212,6 +217,7 @@ class ProgramSession:
             jobs=self._jobs,
             deadline=self._deadline,
             backend=self._backend,
+            on_event=self.hub.sink,
         )
 
     # -- request ops ---------------------------------------------------------
@@ -465,6 +471,8 @@ class ProgramSession:
                         "serve.verdicts_reused",
                         "pointsto.incremental_solves",
                         "pointsto.incremental_new_points",
+                        "driver.steals",
+                        "driver.priority_inversions",
                     )
                 )
                 if inst is not None
@@ -478,9 +486,50 @@ class ProgramSession:
                     "jobs": self._jobs,
                     "journal": self._journal is not None,
                     "metrics": counters,
+                    #: Scheduling efficacy without a full report: the
+                    #: per-rung table plus steal/inversion counts.
+                    "schedule": self._driver._schedule_section(),
+                    "cache_tiers": perf.cache_report().get("tiers", {}),
+                    "telemetry": self.hub.snapshot(),
                 },
                 {},
             )
+
+    def metrics_exposition(self, params: dict) -> tuple[dict, dict]:
+        """The ``metrics`` op: the process-wide registry, as Prometheus
+        text (default) or the raw JSON dump (``format: "json"``)."""
+        _REQUESTS.inc()
+        fmt = params.get("format", "prometheus")
+        if fmt == "prometheus":
+            return (
+                {
+                    "format": "prometheus",
+                    "content_type": telemetry.CONTENT_TYPE,
+                    "exposition": telemetry.render_prometheus(),
+                },
+                {},
+            )
+        if fmt == "json":
+            return (
+                {"format": "json", "metrics": metrics.REGISTRY.to_dict()},
+                {},
+            )
+        raise ValueError(
+            f"unknown metrics format {fmt!r}; expected prometheus or json"
+        )
+
+    def watch(self, params: dict) -> tuple[dict, dict]:
+        """The ``watch`` op (stdio flavor): cursor-polled lifecycle
+        events. Pass the returned ``cursor`` back as ``since`` to resume;
+        ``snapshot: true`` additionally returns the derived live state."""
+        _REQUESTS.inc()
+        since = int(params.get("since", 0))
+        limit = max(1, int(params.get("limit", 500)))
+        cursor, events = self.hub.events_since(since, limit=limit)
+        result = {"cursor": cursor, "events": events}
+        if params.get("snapshot"):
+            result["snapshot"] = self.hub.snapshot()
+        return result, {}
 
     # -- retained-state views ------------------------------------------------
 

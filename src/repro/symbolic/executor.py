@@ -154,6 +154,9 @@ class Engine:
         #: currently working (as owner or helper) — ``_spend`` charges it.
         self.steal_registry = None
         self._shard = None
+        #: The current search's display token (edge/fact description) —
+        #: carried onto shared worklists so steal telemetry can name it.
+        self._desc = ""
 
     # ------------------------------------------------------------------
     # Public API
@@ -190,6 +193,7 @@ class Engine:
             enabled=self.config.simplify_queries, shared=self._refuted_cache
         )
         book = provenance.get_journal()
+        self._desc = str(edge)
         self._sj = (
             book.open_search(str(edge), kind="edge") if book is not None else None
         )
@@ -281,6 +285,7 @@ class Engine:
             enabled=self.config.simplify_queries, shared=self._refuted_cache
         )
         book = provenance.get_journal()
+        self._desc = description or f"fact@L{label}"
         self._sj = (
             book.open_search(description or f"fact@L{label}", kind="fact")
             if book is not None
@@ -488,7 +493,12 @@ class Engine:
         helper effort is charged to the same limits."""
         from ..engine.schedule import SharedWorklist
 
-        shard = SharedWorklist(initial, self._budget_left, self._deadline_at)
+        shard = SharedWorklist(
+            initial,
+            self._budget_left,
+            self._deadline_at,
+            description=getattr(self, "_desc", ""),
+        )
         self.steal_registry.register(shard)
         try:
             self._run_shared(shard, owner=True)

@@ -261,3 +261,104 @@ class TestStdioTransport:
             assert "exactly one of source=" in response["error"]["message"]
         finally:
             session.close()
+
+
+class TestTelemetryOps:
+    """The observability verbs: ``metrics``, ``watch``, and the status
+    payload's scheduling/telemetry sections."""
+
+    def test_metrics_op_prometheus_and_json(self, lifecycle_source):
+        session = ProgramSession(lifecycle_source, include_library=False)
+        try:
+            session.analyze(REACH_PARAMS)
+            response = handle_request(session, Request(op="metrics", id=1))
+            assert response["ok"]
+            result = response["result"]
+            assert result["format"] == "prometheus"
+            assert result["content_type"].startswith("text/plain")
+            text = result["exposition"]
+            assert text.startswith("# repro-exposition-version")
+            assert "repro_serve_requests_total" in text
+            assert 'repro_solver_answers_total{tier="decision"}' in text
+
+            as_json = handle_request(
+                session, Request(op="metrics", id=2, params={"format": "json"})
+            )
+            assert as_json["ok"]
+            metrics_dump = as_json["result"]["metrics"]
+            assert metrics_dump["serve.requests"]["type"] == "counter"
+
+            bad = handle_request(
+                session, Request(op="metrics", id=3, params={"format": "xml"})
+            )
+            assert not bad["ok"]
+            assert "unknown metrics format" in bad["error"]["message"]
+        finally:
+            session.close()
+
+    def test_watch_op_streams_lifecycle_with_cursor(self, lifecycle_source):
+        session = ProgramSession(lifecycle_source, include_library=False)
+        try:
+            first = handle_request(
+                session, Request(op="watch", id=1, params={"snapshot": True})
+            )
+            assert first["ok"]
+            assert first["result"]["events"] == []
+            assert first["result"]["snapshot"]["totals"]["scheduled"] == 0
+
+            session.analyze(REACH_PARAMS)
+            response = handle_request(session, Request(op="watch", id=2))
+            assert response["ok"]
+            events = response["result"]["events"]
+            kinds = [e["event"] for e in events]
+            assert kinds[0] == "RunStarted"
+            assert "EdgeFinished" in kinds
+            assert kinds[-1] == "RunFinished"
+            finished = [e for e in events if e["event"] == "EdgeFinished"]
+            assert len(finished) == N_SCREENS
+            assert all(e["seq"] > 0 and "ts" in e for e in events)
+
+            # Resuming from the returned cursor yields nothing new.
+            cursor = response["result"]["cursor"]
+            again = handle_request(
+                session, Request(op="watch", id=3, params={"since": cursor})
+            )
+            assert again["result"]["events"] == []
+            assert again["result"]["cursor"] == cursor
+        finally:
+            session.close()
+
+    def test_hub_survives_driver_rebuild(self, lifecycle_source):
+        """The hub is session-lifetime: a declaration edit rebuilds the
+        driver, and events from the new driver keep arriving."""
+        session = ProgramSession(lifecycle_source, include_library=False)
+        try:
+            session.analyze(REACH_PARAMS)
+            cursor = session.hub.events_since(0)[0]
+            edited = lifecycle_source.replace(
+                "class Item { }", "class Item { int tag; }"
+            )
+            session.update({"source": edited})
+            session.analyze(REACH_PARAMS)
+            _, rows = session.hub.events_since(cursor)
+            assert any(r["event"] == "RunFinished" for r in rows)
+        finally:
+            session.close()
+
+    def test_status_carries_schedule_and_telemetry(self, lifecycle_source):
+        session = ProgramSession(lifecycle_source, include_library=False)
+        try:
+            session.analyze(REACH_PARAMS)
+            result, _ = session.status()
+            assert "steals" in result["schedule"]
+            assert "priority_inversions" in result["schedule"]
+            assert "rungs" in result["schedule"]
+            assert "driver.steals" in result["metrics"]
+            assert "driver.priority_inversions" in result["metrics"]
+            assert "decisions" in result["cache_tiers"]
+            telemetry_snap = result["telemetry"]
+            assert telemetry_snap["totals"]["scheduled"] >= 0
+            assert telemetry_snap["run"] is not None
+            assert telemetry_snap["in_flight"] == []
+        finally:
+            session.close()

@@ -416,6 +416,12 @@ class TestExporters:
 class TestProcessPoolObservability:
     @pytest.fixture()
     def process_run(self):
+        # Forked workers inherit the process-wide solver memo; start cold
+        # so the searches genuinely run (and count) inside the workers
+        # instead of being served from tables warmed by earlier tests.
+        from repro.perf.memo import SOLVER_MEMO
+
+        SOLVER_MEMO.clear()
         tracer = trace.install()
         book = provenance.install()
         pta = _pta(DEAD_BRANCH)
