@@ -59,6 +59,11 @@ GUARDED = (
     ("solver_calls", "solver calls", 0.0, True),
 )
 
+#: The persistent-store bar (``benchmarks/test_store.py``): a warm re-run
+#: against a populated store must skip at least this fraction of the cold
+#: run's decision-procedure calls. Deterministic, so unconditionally fatal.
+STORE_MIN_SKIP = 0.50
+
 
 def load(path: str) -> dict:
     try:
@@ -109,6 +114,27 @@ def compare(fresh: dict, baseline: dict, strict_configs: bool = False) -> dict:
                                       " REPRO_BENCH_STRICT=1 to enforce]")
         rows.append(row)
 
+    # The cold-vs-warm store section needs no baseline: the cold run of
+    # the same payload *is* the baseline, and the skip ratio is
+    # deterministic for a fixed workload.
+    store = fresh.get("store")
+    store_row = None
+    if store and "decision_skip_ratio" in store:
+        skip = store["decision_skip_ratio"]
+        store_row = {
+            "decision_skip_ratio": skip,
+            "minimum": STORE_MIN_SKIP,
+            "cold_solver_calls": (store.get("cold") or {}).get("solver_calls"),
+            "warm_solver_calls": (store.get("warm") or {}).get("solver_calls"),
+            "warm_wall_ratio": store.get("warm_wall_ratio"),
+            "regressed": skip < STORE_MIN_SKIP,
+        }
+        if store_row["regressed"]:
+            failures.append(
+                f"store: warm run skipped only {skip:.0%} of decisions"
+                f" (minimum {STORE_MIN_SKIP:.0%})"
+            )
+
     if strict_configs and only_fresh:
         failures.append(
             "configs missing from baseline (refresh"
@@ -123,6 +149,7 @@ def compare(fresh: dict, baseline: dict, strict_configs: bool = False) -> dict:
         "only_in_fresh": only_fresh,
         "only_in_baseline": only_base,
         "rows": rows,
+        "store": store_row,
         "failures": failures,
         "advisories": advisories,
         "ok": not failures,
@@ -166,6 +193,14 @@ def main(argv: list | None = None) -> int:
                     f" ({cell['ratio']:.2f}x, {mark})"
                 )
         print(f"  {row['config']}: " + "; ".join(parts))
+    store_row = result.get("store")
+    if store_row:
+        mark = "REGRESSED" if store_row["regressed"] else "ok"
+        print(
+            f"  store: warm skipped"
+            f" {store_row['decision_skip_ratio']:.0%} of decisions"
+            f" (minimum {store_row['minimum']:.0%}, {mark})"
+        )
     for name in result["only_in_fresh"]:
         print(f"  {name}: no baseline entry (skipped)")
     for name in result["only_in_baseline"]:

@@ -1,0 +1,151 @@
+"""Cold-vs-warm benchmark for the persistent verdict store.
+
+The scaling ablation (``test_scaling.py``) characterizes the *in-process*
+cache tiers; this file characterizes the tier underneath them: the
+disk-backed verdict store (``repro.perf.store``). One workload, run twice
+against the same ``--cache-dir``:
+
+* **cold** — empty store: every solver verdict is decided and written;
+* **warm** — the store is closed and reopened (mirrors reloaded from
+  sqlite, in-memory memo cleared), so every answer the warm run gets
+  without deciding came off disk.
+
+Decision counts (``solver.checks``) are deterministic for a fixed
+workload, so the warm-skips-half bar is asserted unconditionally; the
+wall-clock ratio is recorded always and asserted only under
+``REPRO_BENCH_STRICT=1`` (idle machines only). The measurements are
+merged into ``benchmarks/out/BENCH_refute.json`` as a ``store`` section
+for the ``compare_bench.py`` guard.
+"""
+
+import json
+import os
+import time
+
+from repro.android.leaks import LeakChecker
+from repro.bench.workloads import branchy_app, entailed_app, lattice_app
+from repro.obs import metrics
+from repro.perf import store as perf_store
+from repro.perf.memo import SOLVER_MEMO
+from repro.symbolic import SearchConfig
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+STRICT = os.environ.get("REPRO_BENCH_STRICT", "") not in ("", "0")
+
+_METRICS = ("solver.checks", "store.hits", "store.misses", "store.writes")
+
+
+def _snapshot() -> dict:
+    out = {}
+    for name in _METRICS:
+        instrument = metrics.REGISTRY.get(name)
+        out[name] = instrument.value if instrument is not None else 0
+    return out
+
+
+def _store_run(source: str, name: str, budget: int, cache_dir: str) -> dict:
+    """One leak-check run against ``cache_dir``, with cold in-process
+    state: the memo is cleared and the store is detached first, so the
+    only carried-over state is what sqlite holds."""
+    SOLVER_MEMO.clear()
+    perf_store.deactivate()
+    before = _snapshot()
+    started = time.perf_counter()
+    report = LeakChecker(
+        source,
+        name,
+        config=SearchConfig(path_budget=budget, cache_dir=cache_dir),
+    ).run()
+    wall = time.perf_counter() - started
+    assert perf_store.ACTIVE is not None, "store never attached"
+    perf_store.ACTIVE.flush()
+    delta = {k: v - before[k] for k, v in _snapshot().items()}
+    return {
+        "wall_seconds": round(wall, 4),
+        "solver_calls": delta["solver.checks"],
+        "store_hits": delta["store.hits"],
+        "store_misses": delta["store.misses"],
+        "store_writes": delta["store.writes"],
+        "alarms": report.num_alarms,
+        "refuted": report.refuted_alarms,
+    }
+
+
+def test_store_cold_vs_warm_emits_bench_section(tmp_path):
+    """The acceptance bar for the persistent store: a warm re-run of the
+    full ablation workload needs at most half the decision-procedure
+    runs of the cold run, with bit-identical verdicts."""
+    branches, budget = (8, 20_000) if SMOKE else (12, 40_000)
+    lattice = branches // 2 + 1
+    # The same workload the scaling ablation uses, so the two BENCH
+    # sections describe one corpus.
+    source = (
+        branchy_app(branches, leaky=False)
+        + entailed_app(branches)
+        + lattice_app(lattice)
+    )
+    cache_dir = str(tmp_path / "store")
+
+    try:
+        cold = _store_run(source, "store-cold", budget, cache_dir)
+        warm = _store_run(source, "store-warm", budget, cache_dir)
+    finally:
+        perf_store.deactivate()
+
+    # Verdict parity: persistence prunes work, never changes answers.
+    assert (warm["alarms"], warm["refuted"]) == (
+        cold["alarms"],
+        cold["refuted"],
+    )
+    # The cold run populated the store (it may also hit its own fresh
+    # writes intra-run when the bounded in-memory memo misses); the warm
+    # run must answer from disk far more than the cold run did.
+    assert cold["store_writes"] > 0
+    assert warm["store_hits"] > cold["store_hits"]
+    assert warm["store_writes"] < cold["store_writes"]
+
+    # Deterministic bar: the warm run skips >= 50% of decisions.
+    skip = 1.0 - warm["solver_calls"] / max(1, cold["solver_calls"])
+    assert skip >= 0.5, (
+        f"warm run skipped only {skip:.0%} of decisions"
+        f" ({cold['solver_calls']} -> {warm['solver_calls']})"
+    )
+    wall_ratio = warm["wall_seconds"] / max(1e-9, cold["wall_seconds"])
+    if STRICT and not SMOKE:
+        assert wall_ratio < 1.0, (
+            f"warm run not faster than cold: {wall_ratio:.2f}x"
+        )
+
+    section = {
+        "cache_dir": "tmp",
+        "cold": cold,
+        "warm": warm,
+        "decision_skip_ratio": round(skip, 4),
+        "warm_wall_ratio": round(wall_ratio, 4),
+    }
+    os.makedirs(OUT_DIR, exist_ok=True)
+    targets = [os.path.join(OUT_DIR, "BENCH_refute.json")]
+    if not SMOKE:
+        targets.append(
+            os.path.join(os.path.dirname(__file__), "..", "BENCH_refute.json")
+        )
+    for target in targets:
+        # Merge into the scaling-ablation payload when it exists (the
+        # usual full-benchmarks order); otherwise write a skeleton so a
+        # standalone run still produces a comparable artifact.
+        try:
+            with open(target) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            payload = {
+                "benchmark": "scaling_ablation",
+                "smoke": SMOKE,
+                "configs": {},
+                "schema_version": 2,
+            }
+        payload["store"] = section
+        with open(target, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")

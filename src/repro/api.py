@@ -84,6 +84,7 @@ _WIRE_FIELDS = (
     "portfolio",
     "steal",
     "slow_query_ms",
+    "cache_dir",
 )
 
 
@@ -140,6 +141,10 @@ class AnalysisRequest:
     #: Slow-query flight-recorder threshold override in milliseconds
     #: (CLI --slow-query-ms); ``None`` keeps the config's default.
     slow_query_ms: Optional[float] = None
+    #: Persistent cross-run verdict store directory (CLI --cache-dir, env
+    #: REPRO_CACHE_DIR); ``None`` keeps the config's value (persistence
+    #: stays off unless the environment variable is set).
+    cache_dir: Optional[str] = None
     config: Optional[SearchConfig] = None
     on_event: Optional[Callable[[object], None]] = None
 
@@ -298,6 +303,8 @@ def _resolve_config(request: AnalysisRequest) -> SearchConfig:
         config = config.copy(work_stealing=True)
     if request.slow_query_ms is not None:
         config = config.copy(slow_query_ms=request.slow_query_ms)
+    if request.cache_dir is not None:
+        config = config.copy(cache_dir=request.cache_dir)
     return config
 
 

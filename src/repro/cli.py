@@ -207,6 +207,16 @@ def _add_driver_flags(parser: argparse.ArgumentParser) -> None:
             " --slow'"
         ),
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persistent cross-run verdict store: read/write solver"
+            " verdicts and refuted states in DIR/verdicts.sqlite (env"
+            " REPRO_CACHE_DIR; default: no persistence)"
+        ),
+    )
 
 
 def _search_config(args, **overrides):
@@ -224,6 +234,8 @@ def _search_config(args, **overrides):
         overrides.setdefault(
             "slow_query_ms", slow_ms if slow_ms > 0 else None
         )
+    if getattr(args, "cache_dir", None):
+        overrides.setdefault("cache_dir", args.cache_dir)
     return SearchConfig(
         memoize_solver=not getattr(args, "no_memo", False),
         state_subsumption=not getattr(args, "no_subsumption", False),
@@ -370,6 +382,31 @@ def main(argv: list[str] | None = None) -> int:
         help="list the report's records (description + verdict) and exit",
     )
 
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or maintain the persistent cross-run verdict store",
+    )
+    p_cache.add_argument(
+        "action", choices=["stats", "prune", "clear"],
+        help=(
+            "stats: print store contents and session counters; prune:"
+            " LRU-evict down to --max-entries; clear: drop every stored"
+            " verdict and refuted state"
+        ),
+    )
+    p_cache.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="store directory (default: env REPRO_CACHE_DIR)",
+    )
+    p_cache.add_argument(
+        "--max-entries", type=_positive_int, default=None, metavar="N",
+        help="with prune: target row cap per table",
+    )
+    p_cache.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output",
+    )
+
     args = parser.parse_args(argv)
     tracer = None
     journal = None
@@ -406,6 +443,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_serve(args)
         if args.command == "top":
             return _cmd_top(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
         return 2
     finally:
         if streamer is not None:
@@ -912,7 +951,107 @@ def _print_cache_tiers(cache: dict) -> None:
         )
     print(f"  whole-query memo hits  {tiers.get('whole_query_memo_hits', 0):>8}")
     print(f"  syntactic UNSAT        {tiers.get('fastpath_unsat', 0):>8}")
+    store = cache.get("store") or {}
+    if store.get("enabled") or store.get("hits") or store.get("writes"):
+        print(f"  persistent store hits  {store.get('hits', 0):>8}")
     print(f"  decisions actually run {tiers.get('decisions', 0):>8}")
+    _print_store_row(store)
+
+
+def _print_store_row(store: dict) -> None:
+    """The persistent verdict store's run-report row (``explain --status``):
+    session hit/miss/write/evict counters plus the durable file identity."""
+    if not store or not (
+        store.get("enabled")
+        or store.get("hits")
+        or store.get("misses")
+        or store.get("writes")
+    ):
+        return
+    line = (
+        f"store: {store.get('hits', 0)} hit(s) /"
+        f" {store.get('misses', 0)} miss(es),"
+        f" {store.get('writes', 0)} write(s),"
+        f" {store.get('evictions', 0)} eviction(s)"
+    )
+    if store.get("bytes") is not None:
+        line += f", {store['bytes']} bytes on disk"
+    print(line)
+    if store.get("fingerprint"):
+        print(
+            f"  {store.get('entries', 0)} verdict(s) +"
+            f" {store.get('refuted_entries', 0)} refuted state(s) at"
+            f" {store.get('path', '?')} (fingerprint"
+            f" {store['fingerprint']})"
+        )
+
+
+def _cmd_cache(args) -> int:
+    import json as _json
+    import os
+
+    from .perf import store as perf_store
+
+    cache_dir = perf_store.resolve_cache_dir(args.cache_dir)
+    if cache_dir is None:
+        print(
+            "cache: no store directory (pass --cache-dir DIR or set"
+            " REPRO_CACHE_DIR)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.action == "stats":
+        stats = perf_store.stats_for_dir(cache_dir)
+        if stats is None:
+            print(f"cache: no store at {perf_store.store_path(cache_dir)}")
+            return 0
+        if args.json:
+            print(_json.dumps(stats, indent=2, sort_keys=True))
+            return 0
+        if "error" in stats:
+            print(f"cache: {stats['path']}: {stats['error']}", file=sys.stderr)
+            return 1
+        print(f"store {stats['path']}")
+        print(f"  schema version     {stats['schema_version']}")
+        print(f"  solver fingerprint {stats['fingerprint']}")
+        print(f"  verdicts           {stats['entries']}")
+        print(f"  refuted states     {stats['refuted_entries']}")
+        print(f"  stored hits        {stats['stored_hits']}")
+        print(f"  size on disk       {stats['bytes']} bytes")
+        return 0
+    path = perf_store.store_path(cache_dir)
+    if not os.path.exists(path):
+        print(f"cache: no store at {path}", file=sys.stderr)
+        return 2
+    try:
+        store = perf_store.VerdictStore(path)
+    except perf_store.StoreInvalid as exc:
+        if args.action == "clear":
+            # A store the current build cannot even open (corrupt file,
+            # old schema) is exactly what clear is for: start over.
+            for suffix in ("", "-wal", "-shm"):
+                try:
+                    os.remove(path + suffix)
+                except OSError:
+                    pass
+            print(f"cache: removed unreadable store at {path} ({exc})")
+            return 0
+        print(f"cache: {path}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        if args.action == "clear":
+            store.clear()
+            print(f"cache: cleared {path}")
+        else:
+            target = args.max_entries or perf_store.DEFAULT_MAX_ENTRIES
+            dropped = store.prune(target)
+            print(
+                f"cache: pruned {dropped} row(s) from {path}"
+                f" (cap {target} per table)"
+            )
+    finally:
+        store.close()
+    return 0
 
 
 def _print_sched_table(schedule: dict) -> None:

@@ -26,6 +26,16 @@ def _tiers(report: RunReport) -> dict:
     return {k: v for k, v in tiers.items() if isinstance(v, (int, float))}
 
 
+def _store(report: RunReport) -> dict:
+    store = (report.cache or {}).get("store") or {}
+    return {
+        k: v
+        for k, v in store.items()
+        if k in ("hits", "misses", "writes", "evictions", "errors")
+        and isinstance(v, (int, float))
+    }
+
+
 def _counts(a: dict, b: dict) -> dict:
     """Keywise ``{key: {a, b, delta}}`` over the union of two count maps."""
     out = {}
@@ -72,6 +82,7 @@ def diff_reports(a: RunReport, b: RunReport) -> dict:
         "only_in_a": [list(t) for t in sorted(set(a_records) - set(b_records))],
         "only_in_b": [list(t) for t in sorted(set(b_records) - set(a_records))],
         "tiers": _counts(_tiers(a), _tiers(b)),
+        "store": _counts(_store(a), _store(b)),
         "attribution": _counts(
             a.attribution.get("kills", {}), b.attribution.get("kills", {})
         ),
@@ -138,6 +149,16 @@ def render_diff(diff: dict, top: int = 10) -> str:
     if tier_moves:
         lines.append("solver answer tiers (B - A):")
         for name, d in tier_moves.items():
+            lines.append(
+                f"  {name:20s} {d['a']:>10} -> {d['b']:>10}"
+                f"  ({d['delta']:+})"
+            )
+    store_moves = {
+        name: d for name, d in diff["store"].items() if d["delta"] != 0
+    }
+    if store_moves:
+        lines.append("persistent store (B - A):")
+        for name, d in store_moves.items():
             lines.append(
                 f"  {name:20s} {d['a']:>10} -> {d['b']:>10}"
                 f"  ({d['delta']:+})"

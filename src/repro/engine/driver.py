@@ -39,6 +39,7 @@ from typing import Callable, Optional, Sequence
 
 from .. import perf
 from ..obs import metrics, provenance, telemetry, trace
+from ..perf import store as perf_store
 from ..perf.cache import RefutedStateCache
 from ..pointsto import PointsToResult
 from ..pointsto.graph import HeapEdge
@@ -131,7 +132,21 @@ class RefutationDriver:
         )
         #: The serial engine: runs every job when ``jobs == 1`` and serves
         #: as the shared result cache that parallel results merge into.
+        #: Its construction also (re)binds the process-wide persistent
+        #: verdict store to ``config.cache_dir``.
         self.engine = Engine(pta, config, refuted_cache=self.refuted_states)
+        #: Persistent-store binding for the refuted-state cache: seed the
+        #: dead ends earlier runs proved over this exact program
+        #: fingerprint, and write-through everything this run proves.
+        self._refuted_scope: Optional[str] = None
+        if self.refuted_states is not None and perf_store.ACTIVE is not None:
+            scope = perf_store.refuted_scope(pta, config)
+            if scope is not None:
+                self._refuted_scope = scope
+                self.refuted_states.bind_store(perf_store.ACTIVE, scope)
+        #: Latest refuted-state tallies per process worker (cumulative,
+        #: latest wins); folded into :attr:`refuted_states` at close.
+        self._worker_refuted: dict[str, dict] = {}
         self._lock = threading.Lock()
         self._records: dict = {}  # job key -> EdgeRecord, insertion-ordered
         #: Driver-lifetime count of jobs answered from the shared result
@@ -227,8 +242,20 @@ class RefutationDriver:
             # The cache section of any later build_report must not re-add
             # counters that the registry merge below already folded in.
             self._worker_snapshots = {}
+            worker_refuted = list(self._worker_refuted.values())
+            self._worker_refuted = {}
         for snap in worker_metrics:
             metrics.REGISTRY.merge_snapshot(snap)
+        if self.refuted_states is not None:
+            # Fold process workers' refuted-state tallies in (summed, so
+            # per-entry hit counts survive the pool), then hand the
+            # accumulated per-point hits to the persistent store as its
+            # cross-run LRU signal.
+            for snap in worker_refuted:
+                self.refuted_states.merge_snapshot(snap)
+            self.refuted_states.flush_store_tallies()
+        if perf_store.ACTIVE is not None:
+            perf_store.ACTIVE.flush()
         if self._tracer is not None:
             self._tracer.remove_sink(self._on_span)
             self._tracer = None
@@ -1065,6 +1092,8 @@ class RefutationDriver:
                 self._worker_snapshots[worker] = snapshot
                 if "metrics" in obs:
                     self._worker_metrics[worker] = obs["metrics"]
+                if "refuted" in obs:
+                    self._worker_refuted[worker] = obs["refuted"]
             spans = obs.get("spans")
             if spans and self._tracer is not None:
                 self._tracer.absorb(spans, obs["pid"], obs["wall_epoch"])
@@ -1197,10 +1226,19 @@ class RefutationDriver:
         permutations."""
         with self._lock:
             snapshots = list(self._worker_snapshots.values())
+            worker_refuted = list(self._worker_refuted.values())
         cache = perf.cache_report(snapshots)
-        cache["refuted_store"] = (
-            self.refuted_states.stats() if self.refuted_states is not None else None
-        )
+        if self.refuted_states is not None:
+            # Sum in any process-worker tallies not yet folded in at close
+            # — worker hit counts add to the parent's, they never replace
+            # them (per-entry history must survive the process pool).
+            stats = self.refuted_states.stats()
+            for snap in worker_refuted:
+                stats["hits"] += snap.get("hits", 0)
+                stats["misses"] += snap.get("misses", 0)
+            cache["refuted_store"] = stats
+        else:
+            cache["refuted_store"] = None
         cache["memoize_solver"] = self.config.memoize_solver
         cache["state_subsumption"] = self.config.state_subsumption
         cache["partition_solver"] = self.config.partition_solver
@@ -1235,6 +1273,17 @@ def _process_init(payload: bytes) -> None:
     global _PROCESS_ENGINE
     pta, config, trace_on, journal_on = pickle.loads(payload)
     _PROCESS_ENGINE = Engine(pta, config)
+    # Bind the worker's private refuted-state cache to the shared on-disk
+    # store (the engine construction above attached it): the worker seeds
+    # the same proven dead ends as the parent and write-through-persists
+    # its own — sqlite's locking makes the concurrent writers safe.
+    if (
+        perf_store.ACTIVE is not None
+        and _PROCESS_ENGINE._refuted_cache is not None
+    ):
+        scope = perf_store.refuted_scope(pta, config)
+        if scope is not None:
+            _PROCESS_ENGINE._refuted_cache.bind_store(perf_store.ACTIVE, scope)
     # A forked worker inherits the parent's registry values; zero them in
     # place so the snapshot shipped back carries only this worker's own
     # increments — the parent merge would otherwise re-add its own
@@ -1256,6 +1305,13 @@ def _worker_obs_payload() -> dict:
         "metrics": metrics.REGISTRY.snapshot(),
         "pid": os.getpid(),
     }
+    if (
+        _PROCESS_ENGINE is not None
+        and _PROCESS_ENGINE._refuted_cache is not None
+    ):
+        # Cumulative like the metrics snapshot: the parent keeps the
+        # latest per worker and *sums* them in, never replaces.
+        obs["refuted"] = _PROCESS_ENGINE._refuted_cache.snapshot()
     tracer = trace.get_tracer()
     if tracer is not None:
         obs["spans"] = [r.to_dict() for r in tracer.drain()]

@@ -49,7 +49,7 @@ from typing import Callable, Iterable, Optional
 from . import metrics, provenance, trace
 
 #: Bumped whenever the exposition's family names/labels change shape.
-EXPOSITION_VERSION = 1
+EXPOSITION_VERSION = 2
 
 #: The scrape Content-Type (the standard Prometheus text format).
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -73,6 +73,17 @@ _SCHED_LABELS = {
     "driver.priority_inversions": "priority_inversion",
 }
 
+#: Persistent verdict-store counters (``repro.perf.store``) folded into one
+#: labeled family; the store's size gauges (``store.entries``,
+#: ``store.bytes``) stay generic ``repro_store_*`` gauges.
+_STORE_LABELS = {
+    "store.hits": "hit",
+    "store.misses": "miss",
+    "store.writes": "write",
+    "store.evictions": "evict",
+    "store.errors": "error",
+}
+
 _KILL_PREFIX = "executor.kill."
 _RUNG_RE = re.compile(r"^driver\.rung\.(scheduled|resolved|carryover)\.(\d+)$")
 
@@ -83,6 +94,8 @@ _FAMILY_HELP = {
         "Scheduler events: work steals and priority inversions.",
     "repro_driver_rung_jobs_total":
         "Portfolio-ladder jobs, by lifecycle event and rung.",
+    "repro_store_ops_total":
+        "Persistent verdict-store operations, by outcome.",
 }
 
 
@@ -144,6 +157,9 @@ def render_prometheus(registry: Optional[metrics.MetricsRegistry] = None) -> str
         elif name in _SCHED_LABELS:
             fam_name = "repro_driver_sched_events_total"
             labels = f'event="{_SCHED_LABELS[name]}"'
+        elif name in _STORE_LABELS:
+            fam_name = "repro_store_ops_total"
+            labels = f'op="{_STORE_LABELS[name]}"'
         elif rung is not None:
             fam_name = "repro_driver_rung_jobs_total"
             labels = f'event="{rung.group(1)}",rung="{rung.group(2)}"'

@@ -55,18 +55,30 @@ CACHE_METRIC_NAMES = (
     "executor.states_explored",
     "pointsto.noop_pops_skipped",
     "pointsto.delta_propagated",
+    # Persistent verdict store (repro.perf.store): disk-backed tiers.
+    "store.hits",
+    "store.misses",
+    "store.writes",
+    "store.evictions",
+    "store.errors",
 )
 
 
 def refresh_intern_gauges() -> None:
-    """Publish the solver-term intern-table tallies as gauges (the intern
-    hot path keeps plain ints; this is the flush point)."""
+    """Publish the solver-term intern-table tallies and the memo-table
+    sizes as gauges (the hot paths keep plain ints/dicts; this is the
+    flush point)."""
     from ..solver import terms
 
     stats = terms.intern_stats()
     metrics.gauge("solver.intern_hits").set(stats["hits"])
     metrics.gauge("solver.intern_misses").set(stats["misses"])
     metrics.gauge("solver.intern_size").set(stats["size"])
+    sizes = SOLVER_MEMO.sizes()
+    metrics.gauge("solver.memo_check_size").set(sizes["check"])
+    metrics.gauge("solver.memo_component_size").set(sizes["component"])
+    metrics.gauge("solver.memo_entailment_size").set(sizes["entailment"])
+    metrics.gauge("solver.memo_capacity").set(sizes["capacity"])
 
 
 def cache_stats_snapshot() -> dict:
@@ -149,10 +161,41 @@ def cache_report(extra_snapshots: list | None = None) -> dict:
             "context_hits": merged.get("solver.context_hits", 0),
             "component_memo_hits": merged.get("solver.component_memo_hits", 0),
             "whole_query_memo_hits": merged.get("solver.memo_hits", 0),
+            "store_hits": merged.get("store.hits", 0),
             "fastpath_unsat": merged.get("solver.fastpath_unsat", 0),
             "decisions": merged.get("solver.checks", 0),
         },
+        "store": _store_section(merged),
     }
+
+
+def _store_section(merged: dict) -> dict:
+    """The persistent verdict store's slice of the run report: merged
+    hit/miss/write/evict counters (this process + any workers), plus the
+    open store's durable identity when one is active."""
+    from . import store as _store
+
+    section = {
+        "enabled": _store.ACTIVE is not None,
+        "hits": merged.get("store.hits", 0),
+        "misses": merged.get("store.misses", 0),
+        "writes": merged.get("store.writes", 0),
+        "evictions": merged.get("store.evictions", 0),
+        "errors": merged.get("store.errors", 0),
+        "hit_rate": _rate(
+            merged.get("store.hits", 0), merged.get("store.misses", 0)
+        ),
+    }
+    if _store.ACTIVE is not None:
+        durable = _store.ACTIVE.stats()
+        section.update(
+            path=durable["path"],
+            fingerprint=durable["fingerprint"],
+            entries=durable["entries"],
+            refuted_entries=durable["refuted_entries"],
+            bytes=durable["bytes"],
+        )
+    return section
 
 
 __all__ = [

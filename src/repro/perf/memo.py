@@ -18,12 +18,26 @@ bound to keep memory flat on long runs. The process-wide instance
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from typing import Hashable, Optional
 
 #: Default per-table capacity; entries are (small tuple key -> bool).
 MEMO_CAPACITY = 1 << 16
+
+
+def _configured_capacity() -> int:
+    """The memo-table bound, overridable via ``REPRO_MEMO_CAPACITY`` for
+    long-lived ``repro serve`` daemons that want a tighter (or looser)
+    ceiling than the default."""
+    raw = os.environ.get("REPRO_MEMO_CAPACITY")
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return MEMO_CAPACITY
 
 
 class LRUCache:
@@ -81,7 +95,9 @@ class SolverMemo:
 
     __slots__ = ("enabled", "check", "entailment", "component")
 
-    def __init__(self, capacity: int = MEMO_CAPACITY) -> None:
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is None:
+            capacity = _configured_capacity()
         self.enabled = True
         self.check = LRUCache(capacity)
         self.entailment = LRUCache(capacity)
@@ -94,6 +110,14 @@ class SolverMemo:
         self.check.clear()
         self.entailment.clear()
         self.component.clear()
+
+    def sizes(self) -> dict:
+        return {
+            "check": len(self.check),
+            "entailment": len(self.entailment),
+            "component": len(self.component),
+            "capacity": self.component.capacity,
+        }
 
 
 #: Process-wide instance consulted by :func:`repro.solver.core.check_sat`

@@ -477,6 +477,7 @@ class ProgramSession:
                 )
                 if inst is not None
             }
+            cache = perf.cache_report()
             return (
                 {
                     "program": self._program.stats(),
@@ -489,7 +490,11 @@ class ProgramSession:
                     #: Scheduling efficacy without a full report: the
                     #: per-rung table plus steal/inversion counts.
                     "schedule": self._driver._schedule_section(),
-                    "cache_tiers": perf.cache_report().get("tiers", {}),
+                    "cache_tiers": cache.get("tiers", {}),
+                    #: The persistent verdict store this session shares
+                    #: with other processes (enabled=False when no
+                    #: --cache-dir was given).
+                    "store": cache.get("store", {}),
                     "telemetry": self.hub.snapshot(),
                 },
                 {},

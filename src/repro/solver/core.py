@@ -124,6 +124,7 @@ def check_sat(
       is UNSAT overall; SAT in every component is SAT overall (the
       components share no variables, so models compose).
     """
+    from ..perf import store as perf_store
     from ..perf.memo import SOLVER_MEMO, SOLVER_PARTITION
 
     stats = stats or GLOBAL_STATS
@@ -149,6 +150,24 @@ def check_sat(
         stats.memo_misses += 1
         _MEMO_MISSES.inc()
 
+    # Persistent store probe (only ever after an in-memory memo miss):
+    # monolithic whole-query verdicts persist under their canonical
+    # signature, kind "mono" — kept apart from partitioned verdicts
+    # because per-component FM give-ups can differ from whole-query ones.
+    store = perf_store.ACTIVE
+    canon = None
+    if store is not None:
+        canon = partition.canonical_key(atoms, nonnull)
+        cached = store.get("mono", canon)
+        if cached is not None:
+            if memo_key is not None:
+                SOLVER_MEMO.check.put(memo_key, cached)
+            if not cached:
+                stats.unsat += 1
+                if provenance.enabled():
+                    provenance.note_unsat(atoms)
+            return cached
+
     _CHECKS.inc()
     _CHECK_ATOMS.observe(len(atoms))
     with trace.span("solver.check_sat"):
@@ -167,6 +186,8 @@ def check_sat(
                 provenance.note_unsat(atoms)
     if memo_key is not None:
         SOLVER_MEMO.check.put(memo_key, result)
+    if canon is not None and store is not None:
+        store.put("mono", canon, result)
     return result
 
 
@@ -177,12 +198,14 @@ def _check_sat_partitioned(
     context: Optional[partition.SolverContext],
 ) -> bool:
     """Relevance-partitioned ``check_sat``: screen, split, decide per
-    component, answering from ``context`` / the component memo when the
-    fragment is already known. See :mod:`repro.solver.partition` for the
-    soundness argument."""
+    component, answering from ``context`` / the component memo / the
+    persistent verdict store when the fragment is already known. See
+    :mod:`repro.solver.partition` for the soundness argument."""
+    from ..perf import store as perf_store
     from ..perf.memo import SOLVER_MEMO
 
     _PARTITIONS.inc()
+    store = perf_store.ACTIVE
 
     # L1: whole-query memo. The executor re-asks identical conjunctions
     # constantly (version bumps without atom changes, sibling copies); a
@@ -203,6 +226,23 @@ def _check_sat_partitioned(
             return cached
         stats.memo_misses += 1
         _MEMO_MISSES.inc()
+
+    # L1.5: the persistent store's whole-query tier, on the canonical
+    # alpha-renamed signature (run- and process-independent). Probed only
+    # after an in-memory miss, so the disk-backed tier never slows a
+    # memo hit; a hit back-fills the L1 memo for this run.
+    wcanon = None
+    if store is not None:
+        wcanon = partition.canonical_key(atoms, nonnull)
+        cached = store.get("part", wcanon)
+        if cached is not None:
+            if memo_key is not None:
+                SOLVER_MEMO.check.put(memo_key, cached)
+            if not cached:
+                stats.unsat += 1
+                if provenance.enabled():
+                    provenance.note_unsat(atoms)
+            return cached
 
     bad = partition.syntactic_unsat(atoms, nonnull)
     if bad is not None:
@@ -232,20 +272,31 @@ def _check_sat_partitioned(
                 _CONTEXT_HITS.inc()
         if verdict is None:
             # Tier 2: the cross-lineage component memo, on canonical
-            # signatures (alpha-equivalent fragments collapse); tier 3:
-            # decide the original fragment.
-            canon = partition.canonical_key(catoms, key[1]) if memo_on else None
-            if canon is not None:
+            # signatures (alpha-equivalent fragments collapse); tier 2.5:
+            # the persistent store's component tier (fragments decided by
+            # earlier runs); tier 3: decide the original fragment.
+            canon = (
+                partition.canonical_key(catoms, key[1])
+                if (memo_on or store is not None)
+                else None
+            )
+            if canon is not None and memo_on:
                 verdict = SOLVER_MEMO.component.get(canon)
                 if verdict is not None:
                     stats.component_hits += 1
                     _COMPONENT_HITS.inc()
                 else:
                     _COMPONENT_MISSES.inc()
+            if verdict is None and canon is not None and store is not None:
+                verdict = store.get("comp", canon)
+                if verdict is not None and memo_on:
+                    SOLVER_MEMO.component.put(canon, verdict)
             if verdict is None:
                 verdict = _decide_component(catoms, key[1], stats)
-                if canon is not None:
+                if canon is not None and memo_on:
                     SOLVER_MEMO.component.put(canon, verdict)
+                if canon is not None and store is not None:
+                    store.put("comp", canon, verdict)
         if context is not None:
             context.remember(key, verdict)
         if not verdict:
@@ -255,9 +306,13 @@ def _check_sat_partitioned(
                 provenance.note_unsat(catoms)
             if memo_key is not None:
                 SOLVER_MEMO.check.put(memo_key, False)
+            if wcanon is not None and store is not None:
+                store.put("part", wcanon, False)
             return False
     if memo_key is not None:
         SOLVER_MEMO.check.put(memo_key, True)
+    if wcanon is not None and store is not None:
+        store.put("part", wcanon, True)
     return True
 
 

@@ -110,6 +110,13 @@ class SearchConfig:
     #: own toggle.
     work_stealing: bool = False
 
+    #: Persistent cross-run verdict store directory (CLI ``--cache-dir``,
+    #: env ``REPRO_CACHE_DIR``): solver verdicts and refuted states are
+    #: read from and written back to ``<dir>/verdicts.sqlite``, shared
+    #: across runs, process-pool workers, and ``repro serve`` restarts.
+    #: ``None`` (the default) disables persistence entirely.
+    cache_dir: Optional[str] = None
+
     #: Slow-query threshold in milliseconds (CLI ``--slow-query-ms``):
     #: any search whose wall clock exceeds it has its journal captured by
     #: the always-on flight recorder (:mod:`repro.obs.telemetry`), so

@@ -35,6 +35,7 @@ from ..ir.stmts import AtomicStmt, Choice, Loop, Seq, Stmt
 from ..obs import metrics, provenance, trace
 from ..pointsto import ELEMS, PointsToResult
 from ..pointsto.graph import HeapEdge
+from ..perf import store as perf_store
 from ..perf.cache import RefutedStateCache
 from ..perf.memo import SOLVER_MEMO, SOLVER_PARTITION
 from ..pointsto.modref import ModSet
@@ -117,6 +118,10 @@ class Engine:
         # for the whole run (the driver replays the same config in workers).
         SOLVER_MEMO.set_enabled(self.config.memoize_solver)
         SOLVER_PARTITION.set_enabled(self.config.partition_solver)
+        # The persistent verdict store follows the same discipline: one
+        # engine construction (re)binds the process-wide store to the
+        # configured cache directory, or detaches it when none is set.
+        perf_store.attach(self.config.cache_dir)
         self.ctx = TransferContext(pta, self.config)
         self.root = root or self.program.entry
         if self.root is None:

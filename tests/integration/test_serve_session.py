@@ -362,3 +362,68 @@ class TestTelemetryOps:
             assert telemetry_snap["in_flight"] == []
         finally:
             session.close()
+
+
+class TestSharedStore:
+    """Persistent verdict store across serve sessions: restarts resume
+    from disk, and concurrent sessions share one store."""
+
+    def test_sessions_share_one_store_across_restart_and_concurrently(
+        self, lifecycle_source, tmp_path
+    ):
+        import threading
+
+        from repro.perf import store as perf_store
+        from repro.symbolic import SearchConfig
+
+        config = SearchConfig(cache_dir=str(tmp_path))
+        try:
+            first = ProgramSession(
+                lifecycle_source, include_library=False, config=config
+            )
+            try:
+                baseline, _ = first.analyze(REACH_PARAMS)
+                status, _ = first.status()
+                assert status["store"]["enabled"], status["store"]
+                assert perf_store.ACTIVE is not None
+                perf_store.ACTIVE.flush()
+                assert perf_store.ACTIVE.stats()["entries"] > 0
+            finally:
+                first.close()
+
+            # "Restart": drop the process-wide store (closing the file),
+            # then two fresh client sessions attach the same directory
+            # and analyze concurrently, sharing one reopened store.
+            perf_store.deactivate()
+            sessions = [
+                ProgramSession(
+                    lifecycle_source, include_library=False, config=config
+                )
+                for _ in range(2)
+            ]
+            results = {}
+
+            def run(index: int) -> None:
+                results[index] = sessions[index].analyze(REACH_PARAMS)[0]
+
+            try:
+                threads = [
+                    threading.Thread(target=run, args=(i,)) for i in range(2)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+            finally:
+                for session in sessions:
+                    session.close()
+
+            # Both clients saw the cold session's verdicts, unchanged.
+            assert results[0]["verdicts"] == baseline["verdicts"]
+            assert results[1]["verdicts"] == baseline["verdicts"]
+            assert results[0]["status"] == baseline["status"]
+            # And they really answered from the shared store.
+            assert perf_store.ACTIVE is not None
+            assert perf_store.ACTIVE.hits > 0, "no session hit the store"
+        finally:
+            perf_store.deactivate()

@@ -357,6 +357,85 @@ class TestRefutedStateCache:
             RefutedStateCache(stripes=0)
 
 
+class TestRefutedCacheSnapshotMerge:
+    def test_snapshot_carries_per_entry_hit_counts(self):
+        cache = RefutedStateCache()
+        weak = query_with_region(frozenset({A, B}))
+        cache.add_many([(("loop", 1), weak)])
+        cache.subsumes(("loop", 1), query_with_region(frozenset({A})))
+        cache.subsumes(("loop", 1), query_with_region(frozenset({A})))
+        cache.subsumes(("loop", 2), query_with_region(frozenset({A})))
+        snap = cache.snapshot()
+        assert snap["hits"] == 2 and snap["misses"] == 1
+        assert snap["point_hits"] == {("loop", 1): 2}
+
+    def test_merge_sums_tallies_never_resets(self):
+        """The process-pool invariant: folding a worker snapshot into the
+        parent must *add* to the parent's per-entry hit counts — a merge
+        that replaced them would silently lose the cross-run LRU signal
+        every time ``--backend process`` is used."""
+        parent = RefutedStateCache()
+        weak = query_with_region(frozenset({A, B}))
+        parent.add_many([(("loop", 1), weak)])
+        parent.subsumes(("loop", 1), query_with_region(frozenset({A})))
+        before = parent.snapshot()
+        assert before["point_hits"] == {("loop", 1): 1}
+
+        worker = {"hits": 3, "misses": 2,
+                  "point_hits": {("loop", 1): 2, ("entry", "m"): 1}}
+        parent.merge_snapshot(worker)
+        after = parent.snapshot()
+        assert after["hits"] == before["hits"] + 3
+        assert after["misses"] == before["misses"] + 2
+        assert after["point_hits"] == {("loop", 1): 3, ("entry", "m"): 1}
+
+    def test_merge_accumulates_across_workers(self):
+        parent = RefutedStateCache()
+        for _ in range(3):
+            parent.merge_snapshot(
+                {"hits": 1, "misses": 1, "point_hits": {("loop", 7): 4}}
+            )
+        snap = parent.snapshot()
+        assert snap["hits"] == 3 and snap["misses"] == 3
+        assert snap["point_hits"] == {("loop", 7): 12}
+
+    def test_clear_resets_point_hits(self):
+        cache = RefutedStateCache()
+        cache.merge_snapshot({"hits": 1, "misses": 0,
+                              "point_hits": {("loop", 1): 1}})
+        cache.clear()
+        assert cache.snapshot()["point_hits"] == {}
+
+
+class TestMemoCapacity:
+    def test_component_table_is_bounded(self):
+        memo = SolverMemo(capacity=4)
+        for i in range(10):
+            memo.component.put(("sig", i), True)
+        assert len(memo.component) == 4
+        assert memo.sizes()["component"] == 4
+        assert memo.sizes()["capacity"] == 4
+
+    def test_env_override_sets_capacity(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEMO_CAPACITY", "7")
+        assert SolverMemo().component.capacity == 7
+
+    def test_env_override_ignores_garbage(self, monkeypatch):
+        from repro.perf.memo import MEMO_CAPACITY
+
+        monkeypatch.setenv("REPRO_MEMO_CAPACITY", "not-a-number")
+        assert SolverMemo().component.capacity == MEMO_CAPACITY
+
+    def test_sizes_published_as_gauges(self):
+        SOLVER_MEMO.component.put(("sig", "gauge-probe"), True)
+        perf.refresh_intern_gauges()
+        assert (
+            metrics.gauge("solver.memo_component_size").value
+            == SOLVER_MEMO.sizes()["component"]
+        )
+        assert metrics.gauge("solver.memo_capacity").value > 0
+
+
 class TestFacade:
     def test_snapshot_contains_all_cache_metrics(self):
         snap = perf.cache_stats_snapshot()

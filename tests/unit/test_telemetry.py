@@ -54,7 +54,7 @@ def edges(pta):
 
 
 GOLDEN = """\
-# repro-exposition-version 1
+# repro-exposition-version 2
 # HELP repro_driver_job_seconds Distribution of driver.job_seconds.
 # TYPE repro_driver_job_seconds summary
 repro_driver_job_seconds_count 1
@@ -78,6 +78,13 @@ repro_pool_workers 2
 # TYPE repro_solver_answers_total counter
 repro_solver_answers_total{tier="context"} 2
 repro_solver_answers_total{tier="decision"} 5
+# HELP repro_store_entries Current store.entries.
+# TYPE repro_store_entries gauge
+repro_store_entries 7
+# HELP repro_store_ops_total Persistent verdict-store operations, by outcome.
+# TYPE repro_store_ops_total counter
+repro_store_ops_total{op="hit"} 6
+repro_store_ops_total{op="miss"} 1
 """
 
 
@@ -92,6 +99,9 @@ class TestExposition:
         reg.counter("driver.steals").inc(1)
         reg.counter("driver.rung.scheduled.0").inc(4)
         reg.counter("driver.rung.carryover.0").inc(1)
+        reg.counter("store.hits").inc(6)
+        reg.counter("store.misses").inc(1)
+        reg.gauge("store.entries").set(7)
         reg.gauge("pool.workers").set(2)
         reg.histogram("driver.job_seconds").observe(2.0)
         assert render_prometheus(reg) == GOLDEN
@@ -129,6 +139,21 @@ class TestExposition:
             "decision",
         ):
             assert f'repro_solver_answers_total{{tier="{tier}"}} 1' in text
+
+    def test_store_counters_fold_into_one_family(self):
+        reg = metrics.MetricsRegistry()
+        for name in (
+            "store.hits",
+            "store.misses",
+            "store.writes",
+            "store.evictions",
+            "store.errors",
+        ):
+            reg.counter(name).inc()
+        text = render_prometheus(reg)
+        assert text.count("# TYPE repro_store_ops_total counter") == 1
+        for op in ("hit", "miss", "write", "evict", "error"):
+            assert f'repro_store_ops_total{{op="{op}"}} 1' in text
 
     def test_unlabeled_counters_get_total_suffix(self):
         reg = metrics.MetricsRegistry()
